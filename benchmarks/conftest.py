@@ -1,0 +1,39 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each bench regenerates one paper table/figure via
+:mod:`repro.eval.experiments`, asserts the paper's qualitative shape
+(who wins, where the crossover is), and writes the regenerated series to
+``benchmarks/results/<name>.txt`` so the numbers can be read against the
+original figure (see EXPERIMENTS.md).
+"""
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_series(name: str, lines: Iterable[str]) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(str(line) + "\n")
+
+
+def scenario_lines(result) -> list:
+    lines = [
+        f"scenario: {result.name}",
+        f"detected: {result.detected}",
+        f"detection latency (rounds): "
+        f"{result.metrics.detection_latency_rounds}",
+        f"false positive rounds: {result.metrics.false_positive_rounds}",
+        f"total drops seen: {result.total_drops} "
+        f"(congestive {result.congestive_drops}, "
+        f"candidates {result.candidate_drops})",
+        f"ground-truth malicious drops: {result.malicious_drops_truth}",
+        "round  drops  candidates  confidence  alarmed",
+    ]
+    for row in result.rounds:
+        lines.append("%5d  %5d  %10d  %10.4f  %s" % row)
+    return lines

@@ -1,0 +1,34 @@
+"""§6.4.3 — Protocol χ vs static thresholds.
+
+Paper claim: no static threshold is sound — low thresholds false-positive
+on benign congestion, high ones grant the attacker free drops (and miss
+subtle attacks entirely); χ has zero false positives and detects.
+"""
+
+from conftest import save_series
+
+from repro.eval.experiments import chi_vs_static_threshold
+
+
+def test_chi_vs_static_threshold(benchmark):
+    result = benchmark.pedantic(chi_vs_static_threshold, rounds=1,
+                                iterations=1)
+    lines = [
+        f"benign max losses/round: {result.benign_max_losses}",
+        f"attack mean losses/round: {result.attack_mean_losses:.1f} "
+        f"(total malicious: {result.total_malicious_drops})",
+        "threshold  fp_rounds  detected  free_malicious_drops",
+    ]
+    for t in result.thresholds:
+        lines.append(f"{t:9d}  {result.static_fp_rounds[t]:9d}  "
+                     f"{str(result.static_detected[t]):8s}  "
+                     f"{result.static_free_drops[t]}")
+    lines.append(f"chi: fp={result.chi_fp_rounds} "
+                 f"detected={result.chi_detected} free_drops=0")
+    save_series("chi_vs_threshold", lines)
+
+    # Every threshold is unsound in at least one way...
+    assert set(result.unsound_thresholds()) == set(result.thresholds)
+    # ...while χ is clean on both traces.
+    assert result.chi_detected
+    assert result.chi_fp_rounds == 0

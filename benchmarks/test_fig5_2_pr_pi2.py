@@ -1,0 +1,36 @@
+"""Fig 5.2 — |P_r| (max/mean/median) under Π2 vs AdjacentFault(k).
+
+Paper shape: counts grow steeply with k, flatten once k+2 exceeds path
+lengths, and stay far below the O(k · R^{k+1}) worst case; EBONE's
+(smaller, sparser) counts sit well below Sprintlink's.
+"""
+
+from conftest import save_series
+
+from repro.eval.experiments import fig5_2_pr_pi2
+
+
+def test_fig5_2_pr_pi2(benchmark):
+    sprint, ebone = benchmark.pedantic(
+        lambda: (fig5_2_pr_pi2("sprintlink"), fig5_2_pr_pi2("ebone")),
+        rounds=1, iterations=1,
+    )
+    lines = []
+    for curve in (sprint, ebone):
+        lines.append(f"# topology={curve.topology} protocol=Π2")
+        lines.append("k  max  mean  median")
+        for k, mx, mean, med in curve.rows():
+            lines.append(f"{k}  {mx:.0f}  {mean:.1f}  {med:.1f}")
+    save_series("fig5_2_pr_pi2", lines)
+
+    for curve in (sprint, ebone):
+        means = [row[2] for row in curve.rows()]
+        # grows with k then saturates
+        assert means[0] < means[2]
+        assert means[-1] <= means[-2] * 1.05 + 1
+        # far below the theoretical worst case O(k * R^(k+1))
+        _, max_degree = (315, 45) if curve.topology == "sprintlink" else (87, 11)
+        assert curve.series[2]["max"] < 2 * max_degree ** 3
+    # EBONE is smaller across the board.
+    for k in sprint.series:
+        assert ebone.series[k]["mean"] < sprint.series[k]["mean"]

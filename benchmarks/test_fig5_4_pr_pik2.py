@@ -1,0 +1,31 @@
+"""Fig 5.4 — |P_r| under Πk+2: far smaller than Π2, saturating near 2N.
+
+Paper numbers for Sprintlink at AdjacentFault(7): ~616 mean / 626 max
+segments per router — two orders of magnitude below WATCHERS state.
+"""
+
+import pytest
+from conftest import save_series
+
+from repro.eval.experiments import fig5_2_pr_pi2, fig5_4_pr_pik2
+
+
+def test_fig5_4_pr_pik2(benchmark):
+    sprint, ebone = benchmark.pedantic(
+        lambda: (fig5_4_pr_pik2("sprintlink"), fig5_4_pr_pik2("ebone")),
+        rounds=1, iterations=1,
+    )
+    lines = []
+    for curve in (sprint, ebone):
+        lines.append(f"# topology={curve.topology} protocol=Πk+2")
+        lines.append("k  max  mean  median")
+        for k, mx, mean, med in curve.rows():
+            lines.append(f"{k}  {mx:.0f}  {mean:.1f}  {med:.1f}")
+    save_series("fig5_4_pr_pik2", lines)
+
+    # Saturates near 2·(N-1): a router ends at most two segments per peer.
+    assert sprint.series[7]["max"] <= 2 * 314
+    assert sprint.series[7]["mean"] == pytest.approx(616, rel=0.15)
+    # Πk+2 is much cheaper than Π2 at the same k.
+    pi2 = fig5_2_pr_pi2("sprintlink", ks=(2,))
+    assert sprint.series[2]["mean"] < pi2.series[2]["mean"] / 1.5

@@ -1,0 +1,41 @@
+"""Fig 5.7 — Fatih in progress on Abilene.
+
+Paper timeline: convergence ≈ 55 s; attack at ≈ 117 s; detection within
+one 5 s validation round (~3 s); reroute after the OSPF delay/hold
+timers; New York <-> Sunnyvale RTT steps from ~50 ms to ~56 ms; every
+suspected 3-segment contains Kansas City.
+"""
+
+import pytest
+from conftest import save_series
+
+from repro.eval.experiments import fig5_7_fatih
+
+
+def test_fig5_7_fatih(benchmark):
+    result = benchmark.pedantic(fig5_7_fatih, rounds=1, iterations=1)
+    save_series("fig5_7_fatih", [
+        f"convergence: {result.convergence_time:.1f} s (paper ~55 s)",
+        f"attack at: {result.attack_time:.1f} s (paper ~117 s)",
+        f"first detection: {result.first_detection:.1f} s "
+        f"(+{result.detection_latency:.1f} s; paper ~+3 s)",
+        f"reroute: {result.reroute_time:.2f} s "
+        f"(+{result.response_latency:.1f} s; paper ~+15-18 s)",
+        f"RTT before: {1000 * result.rtt_before:.1f} ms (paper ~50 ms)",
+        f"RTT after: {1000 * result.rtt_after:.1f} ms (paper ~56 ms)",
+        "suspected segments:",
+        *("  " + " -> ".join(seg) for seg in result.suspected_segments),
+    ])
+
+    assert 40 <= result.convergence_time <= 70
+    assert result.first_detection is not None
+    assert result.detection_latency <= 6.0  # within ~one tau + settle
+    assert result.reroute_time > result.first_detection
+    assert result.response_latency <= 20.0
+    # RTT steps up by roughly the 3 ms one-way difference (6 ms RTT).
+    assert 1000 * result.rtt_before == pytest.approx(50, abs=4)
+    assert 1000 * result.rtt_after == pytest.approx(56, abs=4)
+    assert result.rtt_after > result.rtt_before
+    # 2-accuracy of the response: only KC-containing segments excluded.
+    assert result.suspected_segments
+    assert all("KansasCity" in seg for seg in result.suspected_segments)

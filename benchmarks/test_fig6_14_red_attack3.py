@@ -1,0 +1,12 @@
+"""Fig 6.14 — RED attack 3: drop only 10% of selected flows above 45 kB."""
+
+from conftest import save_series, scenario_lines
+
+from repro.eval.experiments import fig6_14_red_attack3
+
+
+def test_fig6_14_red_attack3(benchmark):
+    result = benchmark.pedantic(fig6_14_red_attack3, rounds=1, iterations=1)
+    save_series("fig6_14_red_attack3", scenario_lines(result))
+    assert result.detected
+    assert result.false_positives == 0

@@ -1,0 +1,29 @@
+"""Fig 6.2 — c_single as a function of the predicted queue length.
+
+Paper shape: ~1 while the queue has room, collapsing to ~0 as
+q_pred + ps approaches q_limit, with the transition width set by σ.
+"""
+
+from conftest import save_series
+
+from repro.eval.experiments import fig6_2_confidence_curve
+
+
+def test_fig6_2_confidence(benchmark):
+    curve = benchmark.pedantic(
+        lambda: fig6_2_confidence_curve(q_limit=30_000, packet_size=1_000,
+                                        mu=0.0, sigma=1_000.0),
+        rounds=1, iterations=1,
+    )
+    save_series("fig6_2_confidence", [
+        "q_pred  confidence",
+        *(f"{q:7.0f}  {c:.6f}" for q, c in curve.points),
+    ])
+    confidences = [c for _, c in curve.points]
+    assert confidences[0] > 0.9999
+    assert confidences[-1] < 0.2
+    assert confidences == sorted(confidences, reverse=True)
+    # The transition happens within a few sigma of the limit.
+    drop_zone = [q for q, c in curve.points if 0.05 < c < 0.95]
+    assert drop_zone
+    assert min(drop_zone) > 30_000 - 1_000 - 5 * 1_000

@@ -1,0 +1,26 @@
+"""Fig 6.3 — NS-style simulation sweep of χ across attack intensities.
+
+Paper shape: no false positives without an attack; detection at every
+non-zero drop rate, faster/stronger as the rate grows.
+"""
+
+from conftest import save_series
+
+from repro.eval.experiments import fig6_3_ns_simulation
+
+
+def test_fig6_3_ns_simulation(benchmark):
+    points = benchmark.pedantic(fig6_3_ns_simulation, rounds=1, iterations=1)
+    save_series("fig6_3_ns_sim", [
+        "rate  detected  latency_rounds  fp_rounds  malicious_drops",
+        *(f"{p.drop_rate:.2f}  {p.detected}  {p.detection_latency_rounds}"
+          f"  {p.false_positive_rounds}  {p.malicious_drops}"
+          for p in points),
+    ])
+    baseline = next(p for p in points if p.drop_rate == 0.0)
+    assert not baseline.detected
+    assert baseline.false_positive_rounds == 0
+    for p in points:
+        if p.drop_rate > 0:
+            assert p.detected, f"rate {p.drop_rate} must be detected"
+            assert p.false_positive_rounds == 0

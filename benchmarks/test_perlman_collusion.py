@@ -1,0 +1,31 @@
+"""Fig 3.8 — PERLMANd colluding routers frame a correct link; plus the
+SecTrace framing (Fig 3.7) and AWERBUCH log-round localization."""
+
+from conftest import save_series
+
+from repro.eval.experiments import (
+    awerbuch_localization_demo,
+    perlman_collusion_demo,
+    sectrace_framing_demo,
+)
+
+
+def test_perlman_collusion(benchmark):
+    perlman, sectrace, awerbuch = benchmark.pedantic(
+        lambda: (perlman_collusion_demo(), sectrace_framing_demo(),
+                 awerbuch_localization_demo()),
+        rounds=1, iterations=1,
+    )
+    save_series("baseline_flaws", [
+        f"perlman: {perlman.values}",
+        f"sectrace: {sectrace.values}",
+        f"awerbuch: {awerbuch.values}",
+    ])
+    # Fig 3.8: correct link (c, d) framed by colluding b and e.
+    assert perlman.values["perlmand_suspected"] == ("c", "d")
+    assert perlman.values["perlmand_framed_correct_link"]
+    # Fig 3.7: SecTrace framed by a late-activating attacker.
+    assert sectrace.values["framed_correct_link"]
+    # §3.5: binary search stays within its log bound and is accurate.
+    assert awerbuch.values["contains_attacker"]
+    assert awerbuch.values["rounds"] <= awerbuch.values["log2_bound"] + 1

@@ -1,0 +1,26 @@
+"""§2.4.3 ablation — response strategy: exclude segments vs routers.
+
+The paper's rationale for segment exclusion: "less disruptive behavior".
+Quantified on Abilene with the Fig 5.7 suspicions: segment exclusion
+keeps every pair reachable at a small stretch; removing the suspected
+router disconnects everything it terminates.
+"""
+
+from conftest import save_series
+
+from repro.eval.experiments import response_strategy_ablation
+
+
+def test_response_ablation(benchmark):
+    results = benchmark.pedantic(response_strategy_ablation, rounds=1,
+                                 iterations=1)
+    lines = ["strategy  unreachable_pairs  mean_stretch  max_stretch"]
+    for name, impact in results.items():
+        lines.append(f"{name:8s}  {impact.unreachable_pairs:17d}  "
+                     f"{impact.mean_stretch:12.3f}  "
+                     f"{impact.max_stretch:.3f}")
+    save_series("response_ablation", lines)
+
+    assert results["segment"].unreachable_pairs == 0
+    assert results["router"].unreachable_pairs > 0
+    assert results["segment"].mean_stretch <= results["router"].mean_stretch

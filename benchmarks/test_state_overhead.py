@@ -1,0 +1,25 @@
+"""§5.1.1/§5.2.1 — per-router counter state: WATCHERS vs Πk+2.
+
+Paper numbers (Sprintlink): WATCHERS ≈ 13,605 counters mean / 99,225 max;
+Πk+2 needs hundreds — two orders of magnitude less.
+"""
+
+import pytest
+from conftest import save_series
+
+from repro.eval.experiments import state_overhead
+
+
+def test_state_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: state_overhead("sprintlink", ks=(2, 7)),
+        rounds=1, iterations=1,
+    )
+    save_series("state_overhead", result.rows())
+
+    # Paper: 7 × 6.17 × 315 ≈ 13,605 mean; 7 × 45 × 315 = 99,225 max.
+    assert result.watchers_mean == pytest.approx(13_605, rel=0.02)
+    assert result.watchers_max == 99_225
+    for k in (2, 7):
+        assert result.pik2_counters[k]["mean"] < result.watchers_mean / 10
+        assert result.pik2_counters[k]["max"] < result.watchers_max / 10

@@ -1,0 +1,15 @@
+"""Fig 3.1/3.3 — WATCHERS: detection power and the consorting hole."""
+
+from conftest import save_series
+
+from repro.eval.experiments import watchers_flaw_demo
+
+
+def test_watchers_flaw(benchmark):
+    demo = benchmark.pedantic(watchers_flaw_demo, rounds=1, iterations=1)
+    save_series("watchers_flaw", [
+        f"{k}: {v}" for k, v in demo.values.items()
+    ])
+    assert demo.values["original_detections"] == []
+    assert not demo.values["original_detects_attacker"]
+    assert demo.values["fixed_detects_attacker"]

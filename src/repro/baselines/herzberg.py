@@ -1,0 +1,89 @@
+"""HERZBERG: early detection of message forwarding faults (§3.3).
+
+Single-message fault localization on a fixed path via acknowledgements
+and timeouts.  Two variants from the paper:
+
+* **end-to-end** — only the destination acks; every intermediate router
+  times out waiting for an ack or a fault announcement from downstream
+  and, on expiry, announces its downstream link as faulty.  Optimal
+  communication, slow detection.
+* **hop-by-hop** — every router acks to the source immediately; the
+  source localizes the faulty link as the first gap in the ack prefix.
+  Optimal time, heavy communication.
+
+Both return the 2-segment (link) detected, or None if the message was
+delivered cleanly — weak-complete, 2-accurate detectors in the paper's
+terminology, under the assumption that protocol messages from correct
+routers reach their targets (synchronous model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.pathmodel import PathModel
+
+
+@dataclass
+class HerzbergOutcome:
+    delivered: bool
+    detected_link: Optional[Tuple[str, str]]
+    acks_sent: int
+    rounds_to_detect: int  # abstract time units until localization
+
+
+def herzberg_end_to_end(model: PathModel, round_index: int = 0,
+                        payload: object = "msg") -> HerzbergOutcome:
+    """The HERZBERG_end-to-end fault detector."""
+    path = model.path
+    dropper, _ = model.send_data(round_index, payload)
+    if dropper is None:
+        # Destination acks along the reverse path; a faulty router could
+        # still suppress the ack, implicating itself.
+        suppressor = model.send_protocol(round_index, path[-1], "ack",
+                                         len(path) - 1, 0)
+        if suppressor is None:
+            return HerzbergOutcome(True, None, acks_sent=1,
+                                   rounds_to_detect=0)
+        # The first correct router upstream of the suppressor times out.
+        return HerzbergOutcome(
+            True, (path[suppressor - 1], path[suppressor]),
+            acks_sent=1, rounds_to_detect=len(path),
+        )
+    # No ack flows at all; each router upstream of the dropper expects an
+    # ack or announcement from its successor.  The router adjacent to the
+    # dropper is the last to time out hopeful, and announces its link.
+    link = (path[dropper - 1], path[dropper])
+    return HerzbergOutcome(False, link, acks_sent=0,
+                           rounds_to_detect=len(path))
+
+
+def herzberg_hop_by_hop(model: PathModel, round_index: int = 0,
+                        payload: object = "msg") -> HerzbergOutcome:
+    """The HERZBERG_hop-by-hop fault detector.
+
+    Every router that sees the message acks straight back to the source.
+    Ack suppression by a faulty relay implicates the suppressor's link,
+    because the source crosses-checks the contiguous ack prefix.
+    """
+    path = model.path
+    dropper, _ = model.send_data(round_index, payload)
+    reached = len(path) - 1 if dropper is None else dropper
+    acked: List[bool] = [True]  # source trivially has its own copy
+    for i in range(1, reached + 1):
+        suppressor = model.send_protocol(round_index, path[i], "ack", i, 0)
+        acked.append(suppressor is None)
+    # First gap in the contiguous ack prefix localizes the fault.
+    prefix_end = 0
+    for i, ok in enumerate(acked):
+        if not ok:
+            break
+        prefix_end = i
+    delivered = dropper is None
+    if delivered and all(acked) and prefix_end == len(path) - 1:
+        return HerzbergOutcome(True, None, acks_sent=len(acked),
+                               rounds_to_detect=0)
+    link = (path[prefix_end], path[prefix_end + 1])
+    return HerzbergOutcome(delivered, link, acks_sent=len(acked),
+                           rounds_to_detect=1)

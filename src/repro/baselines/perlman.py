@@ -1,0 +1,81 @@
+"""PERLMAN: network layer protocols with Byzantine robustness (§3.7).
+
+Two detectors from Perlman's thesis:
+
+* :func:`perlman_route_setup` — the robust data-routing detector: signed
+  route setup, per-route acks, end-to-end data ack.  On failure the
+  *whole path* is suspected (precision = path length) and the source
+  switches to a disjoint route.
+* :func:`perlman_per_hop_acks` — the PERLMANd variant she *rejected*:
+  every intermediate router acks every data packet to the source.  It is
+  neither accurate nor complete: Fig 3.8's colluding routers b and e can
+  frame the correct link ⟨c, d⟩.  We implement it exactly so the flaw is
+  demonstrable (see ``tests/test_baselines.py`` and the Fig 3.8 bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.pathmodel import PathModel
+
+
+@dataclass
+class PerlmanOutcome:
+    delivered: bool
+    suspected: Optional[Tuple[str, ...]]  # path-segment the source suspects
+    framing: bool = False  # ground truth: suspected segment is all-correct
+
+
+def perlman_route_setup(model: PathModel, round_index: int = 0) -> PerlmanOutcome:
+    """Signed route-setup + end-to-end data ack (weak-complete)."""
+    path = model.path
+    # Route setup must be acked by every intermediate router.
+    for i in range(1, len(path) - 1):
+        dropper, _ = model.send_data(round_index, ("setup", i), 0, i)
+        if dropper is not None:
+            return PerlmanOutcome(False, tuple(path), framing=False)
+        suppressor = model.send_protocol(round_index, path[i], "setup-ack", i, 0)
+        if suppressor is not None:
+            return PerlmanOutcome(False, tuple(path))
+    # Data packet + destination ack.
+    dropper, _ = model.send_data(round_index, "data")
+    if dropper is not None:
+        return PerlmanOutcome(False, tuple(path))
+    suppressor = model.send_protocol(round_index, path[-1], "data-ack",
+                                     len(path) - 1, 0)
+    if suppressor is not None:
+        return PerlmanOutcome(False, tuple(path))
+    return PerlmanOutcome(True, None)
+
+
+def perlman_per_hop_acks(model: PathModel, round_index: int = 0) -> PerlmanOutcome:
+    """PERLMANd: per-hop acks to the source; inaccurate under collusion.
+
+    The source receives acks from a prefix of the path and concludes that
+    the link just past the last acker is faulty.  With a faulty router
+    *inside the acked prefix* selectively suppressing later acks, and a
+    colluding dropper further downstream, this logic frames a correct
+    link (Fig 3.8).
+    """
+    path = model.path
+    dropper, _ = model.send_data(round_index, "data")
+    reached = len(path) - 1 if dropper is None else dropper
+    got_ack = [True]
+    for i in range(1, len(path)):
+        if i > reached:
+            got_ack.append(False)
+            continue
+        suppressor = model.send_protocol(round_index, path[i], "ack", i, 0)
+        got_ack.append(suppressor is None)
+    if all(got_ack):
+        return PerlmanOutcome(True, None)
+    last = 0
+    for i, ok in enumerate(got_ack):
+        if not ok:
+            break
+        last = i
+    suspected = (path[last], path[last + 1])
+    framing = not any(model.is_faulty(r) for r in suspected)
+    return PerlmanOutcome(dropper is None, suspected, framing=framing)

@@ -1,0 +1,147 @@
+"""SATS: secure split assignment trajectory sampling (§3.9).
+
+A centralized backend assigns every router *pair* a secret hash range
+(split assignment); each router reports fingerprints of the packets it
+forwards that fall in any of its own assigned ranges.  The backend —
+which alone knows the full assignment — reconstructs trajectories and
+suspects the path-segment between two observation points whenever the
+upstream one saw traffic the downstream one missed.
+
+Because a router only knows its own ranges, a compromised router cannot
+restrict its attack to unmonitored packets — the same secrecy argument
+as Πk+2's sampling, but with a *centralized* detector: the backend is a
+trusted third party, which is the design point the paper's distributed
+protocols remove.
+
+Weak-complete and accurate with precision M (the distance between the
+two observation points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.summaries import PathOracle
+from repro.crypto.fingerprint import FingerprintSampler, fingerprint
+from repro.crypto.keys import KeyInfrastructure
+from repro.net.packet import Packet
+from repro.net.router import MonitorTap, Network, Router
+
+PathSegment = Tuple[str, ...]
+
+
+@dataclass
+class SATSSuspicion:
+    segment: PathSegment
+    missing: int
+    pair: Tuple[str, str]
+
+
+class SATSBackend(MonitorTap):
+    """The centralized measurement system plus per-router reporting taps.
+
+    One tap object observes the whole network (the simulator stands in
+    for the routers' report channels); reports are segregated per router
+    so a compromised router's *own* reports can be withheld or forged via
+    ``misreporters`` without touching anyone else's.
+    """
+
+    def __init__(self, network: Network, oracle: PathOracle,
+                 keys: Optional[KeyInfrastructure] = None,
+                 rate: float = 0.25,
+                 misreporters: Optional[Dict[str, object]] = None) -> None:
+        self.network = network
+        self.oracle = oracle
+        self.keys = keys or KeyInfrastructure(b"sats-backend")
+        self.rate = rate
+        self.misreporters = misreporters or {}
+        routers = network.topology.routers
+        # Secret per-pair samplers; each router learns only its own.
+        self._pair_samplers: Dict[Tuple[str, str], FingerprintSampler] = {}
+        self._ranges_of: Dict[str, List[Tuple[str, str]]] = {
+            r: [] for r in routers
+        }
+        for i, a in enumerate(routers):
+            for b in routers[i + 1:]:
+                sampler = FingerprintSampler(
+                    rate=rate, key=self.keys.sampling_key(a, b))
+                self._pair_samplers[(a, b)] = sampler
+                self._ranges_of[a].append((a, b))
+                self._ranges_of[b].append((a, b))
+        # reports[router][pair] = {fingerprint: (src, dst)} forwarded in range
+        self.reports: Dict[str, Dict[Tuple[str, str], Dict[int, Tuple[str, str]]]] = {
+            r: {} for r in routers
+        }
+
+    # -- router-side reporting -------------------------------------------------
+    def on_transmit(self, router: Router, out_nbr: str, packet: Packet,
+                    time: float) -> None:
+        name = router.name
+        misreport = self.misreporters.get(name)
+        if misreport == "silent":
+            return
+        fp = fingerprint(packet)
+        for pair in self._ranges_of[name]:
+            if self._pair_samplers[pair].sampled(packet):
+                self.reports[name].setdefault(pair, {})[fp] = (
+                    packet.src, packet.dst)
+
+    # -- backend analysis --------------------------------------------------------
+    def analyze(self) -> List[SATSSuspicion]:
+        """Cross-check each pair's reports along the routing paths."""
+        suspicions: List[SATSSuspicion] = []
+        for (a, b), sampler in self._pair_samplers.items():
+            for upstream, downstream in ((a, b), (b, a)):
+                path = self.oracle.path(upstream, downstream)
+                if path is None or len(path) < 2:
+                    continue
+                seen_up = self.reports[upstream].get((a, b), {})
+                seen_down = self.reports[downstream].get((a, b), {})
+                # Only packets routed through *both* observation points
+                # (in order) are expected downstream; the backend knows
+                # the routing, so it filters by each packet's path.
+                missing = 0
+                for fp, (src, dst) in seen_up.items():
+                    packet_path = self.oracle.path(src, dst)
+                    if packet_path is None:
+                        continue
+                    if upstream not in packet_path or (
+                            downstream not in packet_path):
+                        continue
+                    up_idx = packet_path.index(upstream)
+                    down_idx = packet_path.index(downstream)
+                    if up_idx >= down_idx:
+                        continue
+                    if downstream != dst and fp not in seen_down:
+                        missing += 1
+                    elif downstream == dst:
+                        # The terminal router consumes rather than
+                        # forwards; its report cannot contain fp.  Skip.
+                        continue
+                if missing > 0:
+                    suspicions.append(SATSSuspicion(
+                        segment=tuple(path), missing=missing,
+                        pair=(a, b),
+                    ))
+        return suspicions
+
+    def suspected_routers(self) -> Set[str]:
+        """Union of suspected segments (§3.9: an inconsistency between
+        r_i and r_j suspects every router between them *including* both
+        ends — the observation points themselves may be lying)."""
+        out: Set[str] = set()
+        for suspicion in self.analyze():
+            out.update(suspicion.segment)
+        return out
+
+    def localized_routers(self) -> Set[str]:
+        """Intersection of suspected segments: with enough pair coverage
+        the common core pins down the culprit(s)."""
+        suspicions = self.analyze()
+        if not suspicions:
+            return set()
+        core = set(suspicions[0].segment)
+        for suspicion in suspicions[1:]:
+            core &= set(suspicion.segment)
+        return core

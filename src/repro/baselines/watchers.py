@@ -1,0 +1,217 @@
+"""WATCHERS: distributed conservation-of-flow monitoring (§3.1).
+
+The final (Bradley et al.) WATCHERS: every router keeps, per neighbour
+and per final destination, byte counters for traffic it originates (S),
+transits (T) and terminates (D); counters are flooded each round and a
+two-phase check runs at every router:
+
+1. **Validation** — for each link the two ends' counter copies must
+   agree.  A disagreement on *my own* link makes me detect my neighbour;
+   a disagreement between my neighbour b and *its* neighbour c makes me
+   skip b's CoF test, assuming b and c will detect each other.
+2. **Conservation of flow** — a neighbour whose validated inflow and
+   outflow differ by more than a threshold is detected.
+
+That "assume they detect each other" step is the protocol's famous hole:
+consorting faulty routers c and d can disagree with each other and then
+simply *not* announce anything (Fig 3.3) — nobody runs CoF, nothing is
+detected.  ``improved=True`` applies the dissertation's fix: a router
+that observed the c–d inconsistency expects a ⟨c, d⟩ announcement within
+the round and otherwise detects its own adjacent link.
+
+The model is flow-level (byte counters over an agreed interval), which is
+all WATCHERS itself uses; drops and lies are injected per router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.net.topology import Topology
+
+# (flow source, upstream, downstream, destination) -> bytes.  Keeping the
+# source in the key realizes WATCHERS' S/T/D counter split: an entry is
+# "S-like" at a router r when source == r, "D-like" when dest == r, and
+# transit (T) otherwise.
+Counter = Dict[Tuple[str, str, str, str], float]
+
+
+@dataclass
+class WatchersFlow:
+    """One unidirectional traffic aggregate."""
+
+    path: Tuple[str, ...]
+    volume: float  # bytes over the measurement interval
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ValueError("flow path needs >= 2 routers")
+        self.path = tuple(self.path)
+
+
+@dataclass
+class WatchersFault:
+    """Byzantine behaviour of one router under WATCHERS."""
+
+    # Fraction of transit volume this router silently drops, per flow.
+    drop_fraction: Callable[[WatchersFlow], float] = lambda flow: 0.0
+    # Rewrite of the router's claimed counters (protocol faulty / lying).
+    misreport: Optional[Callable[[Counter], Counter]] = None
+    # Does the router announce detections it is obliged to make?
+    announces: bool = False  # faulty routers stay silent by default
+
+
+@dataclass
+class Detection:
+    detector: str
+    link: Tuple[str, str]
+    phase: str  # "validation" | "cof" | "timeout-fix"
+
+
+@dataclass
+class WatchersReport:
+    detections: List[Detection] = field(default_factory=list)
+    skipped_cof: List[Tuple[str, str]] = field(default_factory=list)
+    inconsistent_links: List[Tuple[str, str]] = field(default_factory=list)
+
+    def detected_links(self) -> Set[Tuple[str, str]]:
+        return {d.link for d in self.detections}
+
+    def detects_router(self, router: str) -> bool:
+        return any(router in d.link for d in self.detections)
+
+
+class WatchersProtocol:
+    """One WATCHERS round over a topology and a set of flows."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        flows: Sequence[WatchersFlow],
+        faulty: Optional[Dict[str, WatchersFault]] = None,
+        threshold: float = 0.0,
+        improved: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.flows = list(flows)
+        self.faulty = faulty or {}
+        self.threshold = threshold
+        self.improved = improved
+        for flow in self.flows:
+            for a, b in zip(flow.path, flow.path[1:]):
+                if not topology.has_link(a, b):
+                    raise ValueError(f"flow uses missing link {a}->{b}")
+
+    # -- ground truth -----------------------------------------------------------
+    def true_counters(self) -> Dict[str, Counter]:
+        """Each router's honest counters, given actual malicious drops."""
+        counters: Dict[str, Counter] = {r: {} for r in self.topology.routers}
+        for flow in self.flows:
+            src_r, dest = flow.path[0], flow.path[-1]
+            volume = flow.volume
+            for i, (a, b) in enumerate(zip(flow.path, flow.path[1:])):
+                # Transit drop at a (terminal routers assumed good, §2.1.4).
+                if 0 < i < len(flow.path) - 1 and a in self.faulty:
+                    volume *= 1.0 - self.faulty[a].drop_fraction(flow)
+                key = (src_r, a, b, dest)
+                counters[a][key] = counters[a].get(key, 0.0) + volume
+                counters[b][key] = counters[b].get(key, 0.0) + volume
+        return counters
+
+    def claimed_counters(self) -> Dict[str, Counter]:
+        truth = self.true_counters()
+        claims: Dict[str, Counter] = {}
+        for router, counter in truth.items():
+            fault = self.faulty.get(router)
+            if fault is not None and fault.misreport is not None:
+                claims[router] = fault.misreport(dict(counter))
+            else:
+                claims[router] = dict(counter)
+        return claims
+
+    # -- the two-phase check ------------------------------------------------------
+    def run_round(self) -> WatchersReport:
+        claims = self.claimed_counters()
+        report = WatchersReport()
+        links = sorted({(a, b) for counter in claims.values()
+                        for (_, a, b, _) in counter})
+        # Which (a, b) pairs are inconsistent between their two ends?
+        inconsistent: Set[Tuple[str, str]] = set()
+        for (a, b) in links:
+            keys = {k for k in claims[a] if k[1] == a and k[2] == b}
+            keys |= {k for k in claims[b] if k[1] == a and k[2] == b}
+            for key in keys:
+                if abs(claims[a].get(key, 0.0) - claims[b].get(key, 0.0)) > 1e-9:
+                    inconsistent.add((a, b))
+                    break
+        report.inconsistent_links = sorted(inconsistent)
+
+        correct = [r for r in self.topology.routers if r not in self.faulty]
+        announced: Set[Tuple[str, str]] = set()
+
+        # Phase 1: validation.
+        skip_cof: Dict[str, Set[str]] = {r: set() for r in self.topology.routers}
+        for router in correct:
+            for nbr in self.topology.neighbors(router):
+                own_links = {(router, nbr), (nbr, router)}
+                if own_links & inconsistent:
+                    report.detections.append(
+                        Detection(router, (router, nbr), "validation")
+                    )
+                    announced.add((router, nbr))
+                    continue
+                # Neighbour-vs-its-neighbour inconsistencies: skip b's CoF.
+                for far in self.topology.neighbors(nbr):
+                    if far == router:
+                        continue
+                    if {(nbr, far), (far, nbr)} & inconsistent:
+                        skip_cof[router].add(nbr)
+                        report.skipped_cof.append((router, nbr))
+                        break
+
+        # Phase 2: conservation of flow.
+        for router in correct:
+            for nbr in self.topology.neighbors(router):
+                if nbr in skip_cof[router]:
+                    continue
+                if any(nbr in d.link and d.detector == router
+                       for d in report.detections):
+                    continue
+                # Transit-only conservation of flow (Ib vs Ob, §3.1):
+                # inflow excludes traffic terminating at nbr, outflow
+                # excludes traffic nbr originated.
+                inflow = sum(v for (s, a, b, d), v in claims[nbr].items()
+                             if b == nbr and d != nbr)
+                outflow = sum(v for (s, a, b, d), v in claims[nbr].items()
+                              if a == nbr and s != nbr)
+                if abs(inflow - outflow) > self.threshold + 1e-9:
+                    report.detections.append(
+                        Detection(router, (router, nbr), "cof")
+                    )
+                    announced.add((router, nbr))
+
+        # The fix: an observed far-link inconsistency obliges its ends to
+        # announce; silence convicts the nearer router.
+        if self.improved:
+            for router in correct:
+                for nbr in self.topology.neighbors(router):
+                    if nbr not in skip_cof[router]:
+                        continue
+                    expected = False
+                    for far in self.topology.neighbors(nbr):
+                        pair = {(nbr, far), (far, nbr)}
+                        if not (pair & inconsistent):
+                            continue
+                        ends_announced = any(
+                            d.link in ((nbr, far), (far, nbr))
+                            for d in report.detections
+                            if d.detector in (nbr, far)
+                        )
+                        if not ends_announced:
+                            expected = True
+                    if expected:
+                        report.detections.append(
+                            Detection(router, (router, nbr), "timeout-fix")
+                        )
+        return report

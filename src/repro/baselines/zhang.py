@@ -1,0 +1,91 @@
+"""ZHANG: per-interface statistical loss prediction (§3.12).
+
+The closest prior to Protocol χ: a neighbour models the monitored
+interface's offered load as a Poisson process, predicts the congestive
+loss rate from queueing theory (M/M/1/K), and alarms when observed losses
+significantly exceed the prediction.  Strong-complete and 2-accurate *if
+the traffic really is Poisson* — the paper's (and our) point is that TCP
+traffic is bursty, so the predicted threshold is wrong in both
+directions: benign bursts overflow it (false positives) and a careful
+attacker hides under it (false negatives).  Protocol χ replaces the
+model with measurement.
+
+Implemented as a per-round detector over the same
+:class:`repro.core.chi.QueueTap` records χ uses, so the two can be
+scored on identical traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.chi import TrafficRecord
+
+
+def mm1k_loss_probability(arrival_rate: float, service_rate: float,
+                          capacity_packets: int) -> float:
+    """Blocking probability of an M/M/1/K queue.
+
+    ``capacity_packets`` is K (buffer including the one in service).
+    """
+    if arrival_rate <= 0:
+        return 0.0
+    if service_rate <= 0:
+        raise ValueError("service rate must be positive")
+    if capacity_packets < 1:
+        raise ValueError("capacity must be >= 1 packet")
+    rho = arrival_rate / service_rate
+    k = capacity_packets
+    if abs(rho - 1.0) < 1e-9:
+        return 1.0 / (k + 1)
+    return (1.0 - rho) * rho ** k / (1.0 - rho ** (k + 1))
+
+
+@dataclass
+class ZhangVerdict:
+    round_index: int
+    arrivals: int
+    observed_losses: int
+    predicted_losses: float
+    threshold: float
+    alarmed: bool
+
+
+class ZhangDetector:
+    """Poisson-model loss-threshold detection for one monitored queue."""
+
+    def __init__(self, bandwidth: float, queue_limit: int,
+                 mean_packet_size: int = 1000, z_score: float = 3.0,
+                 tau: float = 2.0) -> None:
+        if bandwidth <= 0 or queue_limit <= 0:
+            raise ValueError("bandwidth and queue limit must be positive")
+        self.service_rate = bandwidth / mean_packet_size  # packets/s
+        self.capacity_packets = max(1, queue_limit // mean_packet_size)
+        self.z_score = z_score
+        self.tau = tau
+        self.verdicts: List[ZhangVerdict] = []
+
+    def observe_round(self, round_index: int,
+                      records_in: Sequence[TrafficRecord],
+                      records_out: Sequence[TrafficRecord]) -> ZhangVerdict:
+        arrivals = len(records_in)
+        out_fps = {r.fp for r in records_out}
+        losses = sum(1 for r in records_in if r.fp not in out_fps)
+        arrival_rate = arrivals / self.tau
+        p_loss = mm1k_loss_probability(arrival_rate, self.service_rate,
+                                       self.capacity_packets)
+        predicted = arrivals * p_loss
+        # Poisson-count prediction interval.
+        threshold = predicted + self.z_score * math.sqrt(max(predicted, 1.0))
+        verdict = ZhangVerdict(
+            round_index=round_index, arrivals=arrivals,
+            observed_losses=losses, predicted_losses=predicted,
+            threshold=threshold, alarmed=losses > threshold,
+        )
+        self.verdicts.append(verdict)
+        return verdict
+
+    def alarms(self) -> List[ZhangVerdict]:
+        return [v for v in self.verdicts if v.alarmed]

@@ -1,0 +1,92 @@
+"""The paper's primary contribution.
+
+* traffic summaries and conservation-of-traffic validation (§2.4.1, §4.2.1)
+* the failure-detector specification (§4.2.2)
+* Protocol Π2 (Fig 5.1) and Protocol Πk+2 (Fig 5.3)
+* Protocol χ with droptail queue prediction and RED validation (Ch. 6)
+* the static-threshold baseline (§6.1.1) and the rejected traffic-modeling
+  approach (§6.1.2)
+* the Fatih prototype system (§5.3)
+"""
+
+from repro.core.summaries import (
+    SummaryPolicy,
+    TrafficSummary,
+    SummaryBuilder,
+    PathOracle,
+    EcmpPathOracle,
+    SegmentMonitor,
+)
+from repro.core.validation import (
+    TVResult,
+    tv_flow,
+    tv_content,
+    tv_order,
+    tv_timeliness,
+    validate,
+)
+from repro.core.detector import (
+    Suspicion,
+    DetectorState,
+    accuracy_report,
+    completeness_report,
+)
+from repro.core.segments import (
+    all_routing_paths,
+    enumerate_segments,
+    monitored_segments_pi2,
+    monitored_segments_pik2,
+    pr_statistics,
+)
+from repro.core.pi2 import ProtocolPi2
+from repro.core.pik2 import ProtocolPiK2
+from repro.core.chi import ProtocolChi, ChiConfig, QueueValidator
+from repro.core.static_threshold import StaticThresholdDetector
+from repro.core.qmodel import (
+    tcp_square_root_throughput,
+    appenzeller_sigma,
+    appenzeller_loss_probability,
+)
+from repro.core.fatih import FatihSystem, FatihConfig
+from repro.core.replica import ReplicaDetector, ReplicaDiscrepancy
+from repro.core.codecs import EncodedSummary, encode_summary, validate_encoded
+
+__all__ = [
+    "SummaryPolicy",
+    "TrafficSummary",
+    "SummaryBuilder",
+    "PathOracle",
+    "EcmpPathOracle",
+    "SegmentMonitor",
+    "TVResult",
+    "tv_flow",
+    "tv_content",
+    "tv_order",
+    "tv_timeliness",
+    "validate",
+    "Suspicion",
+    "DetectorState",
+    "accuracy_report",
+    "completeness_report",
+    "all_routing_paths",
+    "enumerate_segments",
+    "monitored_segments_pi2",
+    "monitored_segments_pik2",
+    "pr_statistics",
+    "ProtocolPi2",
+    "ProtocolPiK2",
+    "ProtocolChi",
+    "ChiConfig",
+    "QueueValidator",
+    "StaticThresholdDetector",
+    "tcp_square_root_throughput",
+    "appenzeller_sigma",
+    "appenzeller_loss_probability",
+    "FatihSystem",
+    "FatihConfig",
+    "ReplicaDetector",
+    "ReplicaDiscrepancy",
+    "EncodedSummary",
+    "encode_summary",
+    "validate_encoded",
+]

@@ -1,0 +1,211 @@
+"""Fatih — the prototype system of §5.3.
+
+Fatih glues the pieces of Fig 5.5 together on a live network:
+
+* a **coordinator** per system that decides which path-segments to
+  monitor (k = 1 by default: every 3-segment, reflecting the realistic
+  attacker who controls isolated routers);
+* **traffic validators** — a :class:`ProtocolPiK2` instance whose
+  summaries come from the in-kernel-style :class:`SegmentMonitor`;
+* the **link-state routing daemon** (:class:`LinkStateRouting`) which
+  floods alerts and recomputes tables after its SPF delay + hold timers,
+  excluding suspected path-segments via policy routing;
+* **NTP-grade clocks** via :class:`ClockModel`.
+
+When routing changes (post-detection), the coordinator rebuilds its path
+oracle and monitored-segment set — the paper's "coordinator is kept
+abreast of routing changes" (§5.3.1).
+
+:class:`RTTMonitor` provides the measurement stream plotted in Fig 5.7.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.detector import DetectorState, Suspicion
+from repro.core.pik2 import PiK2Config, ProtocolPiK2
+from repro.core.segments import all_routing_paths, monitored_segments_pik2
+from repro.core.summaries import PathOracle, SegmentMonitor, SummaryPolicy
+from repro.crypto.keys import KeyInfrastructure
+from repro.dist.sync import ClockModel, RoundSchedule
+from repro.net.packet import Packet, PacketKind
+from repro.net.router import Network
+from repro.net.routing import LinkStateRouting, compute_all_paths
+
+
+@dataclass
+class FatihConfig:
+    k: int = 1
+    tau: float = 5.0  # validation round length (§5.3.1: 5 s)
+    threshold: int = 2  # benign loss allowance per segment-round
+    settle_delay: float = 0.3
+    exchange_timeout: float = 1.0
+    policy: SummaryPolicy = SummaryPolicy.CONTENT
+    rebuild_grace: float = 20.0  # wait for reroute before re-arming monitors
+
+
+class FatihSystem:
+    """Coordinator + validators + routing response on one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        routing: LinkStateRouting,
+        keys: Optional[KeyInfrastructure] = None,
+        config: Optional[FatihConfig] = None,
+        clock: Optional[ClockModel] = None,
+    ) -> None:
+        self.network = network
+        self.routing = routing
+        self.keys = keys or KeyInfrastructure()
+        self.config = config or FatihConfig()
+        self.clock = clock or ClockModel(epsilon=0.002)
+        self.protocol: Optional[ProtocolPiK2] = None
+        self.monitor: Optional[SegmentMonitor] = None
+        self.suspicions: List[Suspicion] = []
+        self.detection_times: List[Tuple[float, Suspicion]] = []
+        self._rebuild_pending = False
+        self._monitor_until: Optional[float] = None
+        self._schedule: Optional[RoundSchedule] = None
+
+    # -- lifecycle --------------------------------------------------------------
+    def start_monitoring(self, at: float, until: float) -> None:
+        """Arm validators from ``at`` (post-convergence) to ``until``."""
+        self._monitor_until = until
+        self.network.sim.schedule_at(at, self._arm, at, until)
+
+    def _arm(self, start: float, until: float) -> None:
+        suspected = {tuple(s.segment) for s in self.suspicions}
+        paths = compute_all_paths(self.network.topology, suspected)
+        oracle = PathOracle(paths)
+        schedule = RoundSchedule(tau=self.config.tau, start=start)
+        self._schedule = schedule
+        monitor = SegmentMonitor(
+            self.network, oracle, schedule,
+            policy=self.config.policy, clock=self.clock,
+        )
+        segments_by_router = monitored_segments_pik2(
+            [tuple(p) for p in paths.values()], self.config.k
+        )
+        segments: Set[Tuple[str, ...]] = set()
+        for segs in segments_by_router.values():
+            segments.update(segs)
+        # Never re-monitor segments already excluded from the fabric.
+        segments = {s for s in segments if s not in suspected}
+        protocol = ProtocolPiK2(
+            self.network, monitor, segments, self.keys, schedule,
+            config=PiK2Config(
+                k=self.config.k,
+                threshold=self.config.threshold,
+                settle_delay=self.config.settle_delay,
+                exchange_timeout=self.config.exchange_timeout,
+            ),
+            on_suspicion=self._on_suspicion,
+        )
+        self.network.add_tap(monitor)
+        if self.monitor is not None:
+            self.network.remove_tap(self.monitor)
+        self.monitor = monitor
+        self.protocol = protocol
+        n_rounds = max(0, int((until - start) / self.config.tau) - 1)
+        protocol.schedule_rounds(0, n_rounds)
+
+    # -- detection & response ------------------------------------------------------
+    def _on_suspicion(self, suspicion: Suspicion) -> None:
+        now = self.network.sim.now
+        self.suspicions.append(suspicion)
+        self.detection_times.append((now, suspicion))
+        # Alert the routing daemon (flooded network-wide, Fig 5.5).
+        self.routing.announce_suspicion(
+            suspicion.suspected_by, suspicion.segment, suspicion.interval
+        )
+        # The response is about to reroute traffic, so this protocol
+        # instance's oracle is stale: disarm future rounds and re-arm a
+        # fresh instance against the post-response topology.
+        if self.protocol is not None:
+            self.protocol.stop()
+        if not self._rebuild_pending and self._monitor_until is not None:
+            self._rebuild_pending = True
+            restart = now + self.config.rebuild_grace
+            if restart < self._monitor_until:
+                self.network.sim.schedule_at(restart, self._rearm, restart)
+
+    def _rearm(self, start: float) -> None:
+        self._rebuild_pending = False
+        if self.protocol is not None:
+            # Drop the old instance: its oracle predates the reroute.
+            self.protocol = None
+        self._arm(start, self._monitor_until or start)
+
+    # -- reporting --------------------------------------------------------------------
+    def first_detection_time(self) -> Optional[float]:
+        return self.detection_times[0][0] if self.detection_times else None
+
+    def suspected_segments(self) -> Set[Tuple[str, ...]]:
+        return {tuple(s.segment) for s in self.suspicions}
+
+
+class RTTMonitor:
+    """Round-trip probes between two routers (the Fig 5.7 latency trace)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, network: Network, src: str, dst: str,
+                 interval: float = 1.0, start: float = 0.0,
+                 stop: Optional[float] = None) -> None:
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.interval = interval
+        self.stop = stop
+        self.flow_id = f"rtt-{next(self._ids)}"
+        self.samples: List[Tuple[float, float]] = []  # (send time, rtt)
+        self.lost = 0
+        self._outstanding: Dict[int, float] = {}
+        self._seq = 0
+        network.routers[dst].register_flow(self.flow_id, self._echo)
+        network.routers[src].register_flow(self.flow_id + ":back", self._pong)
+        network.sim.schedule_at(start, self._probe)
+
+    def _probe(self) -> None:
+        now = self.network.sim.now
+        if self.stop is not None and now >= self.stop:
+            return
+        seq = self._seq
+        self._seq += 1
+        self._outstanding[seq] = now
+        probe = Packet(src=self.src, dst=self.dst, size=100,
+                       kind=PacketKind.PROBE, flow_id=self.flow_id, seq=seq,
+                       payload=b"ping")
+        self.network.routers[self.src].originate(probe)
+        # Probes unanswered after 5 intervals count as lost.
+        self.network.sim.schedule(5 * self.interval, self._expire, seq)
+        self.network.sim.schedule(self.interval, self._probe)
+
+    def _echo(self, packet: Packet, now: float) -> None:
+        pong = Packet(src=self.dst, dst=self.src, size=100,
+                      kind=PacketKind.PROBE,
+                      flow_id=self.flow_id + ":back", seq=packet.seq,
+                      payload=b"pong")
+        self.network.routers[self.dst].originate(pong)
+
+    def _pong(self, packet: Packet, now: float) -> None:
+        sent = self._outstanding.pop(packet.seq, None)
+        if sent is not None:
+            self.samples.append((sent, now - sent))
+
+    def _expire(self, seq: int) -> None:
+        if self._outstanding.pop(seq, None) is not None:
+            self.lost += 1
+
+    def rtt_series(self) -> List[Tuple[float, float]]:
+        return list(self.samples)
+
+    def mean_rtt(self, since: float = 0.0, until: float = float("inf")) -> Optional[float]:
+        window = [rtt for t, rtt in self.samples if since <= t < until]
+        if not window:
+            return None
+        return sum(window) / len(window)

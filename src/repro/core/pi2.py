@@ -1,0 +1,220 @@
+"""Protocol Π2 — complete, accurate, precision 2 (Fig 5.1).
+
+Every router monitors every (k+2)-path-segment it belongs to.  At the end
+of each agreed round τ the members of each segment run *consensus* on
+their digitally signed traffic summaries, so that all correct members
+hold the same vector of values; each member then evaluates TV pairwise
+along the segment and suspects the 2-segment ⟨rᵢ, rᵢ₊₁⟩ wherever
+validation fails, reliably broadcasting the signed evidence network-wide.
+
+Two pairwise checks per adjacent pair implement TV:
+
+* **link check** — what rᵢ claims to have sent to rᵢ₊₁ vs what rᵢ₊₁
+  claims to have received: catches in-transit tampering and lying about
+  the link.
+* **transit check** — what rᵢ received from rᵢ₋₁ along π vs what it sent
+  on to rᵢ₊₁: catches a router that truthfully reports while dropping
+  inside itself (the threshold absorbs its benign congestion drops).
+
+A member that is *silent* or *equivocates* in consensus is protocol
+faulty with cryptographic/synchrony proof; the adjacent 2-segments are
+suspected, preserving 2-accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.detector import DetectorState, Suspicion
+from repro.core.summaries import (
+    PathOracle,
+    PathSegment,
+    SegmentMonitor,
+    SummaryPolicy,
+    TrafficSummary,
+)
+from repro.core.validation import TVResult, validate
+from repro.crypto.keys import KeyInfrastructure
+from repro.dist.broadcast import robust_flood
+from repro.dist.consensus import Equivocator, FaultyBehavior, Silent, SignedConsensus
+from repro.dist.sync import RoundSchedule
+from repro.net.router import Network
+
+# A reporter maps the honest summary pair to what the router actually
+# claims: the honest value, an altered one, a pair (equivocation), or
+# None (silence).  Honest routers use the identity.
+Reporter = Callable[[Tuple[TrafficSummary, TrafficSummary]], object]
+
+
+def honest_reporter(value: Tuple[TrafficSummary, TrafficSummary]) -> object:
+    return value
+
+
+@dataclass
+class Pi2Config:
+    k: int = 1
+    threshold: int = 0
+    reorder_threshold: int = 0
+    settle_delay: float = 0.2  # wait after round end for in-flight packets
+    max_delay: Optional[float] = None  # for timeliness policy
+
+
+class ProtocolPi2:
+    """Distributed Π2 over a simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        monitor: SegmentMonitor,
+        segments: Iterable[PathSegment],
+        keys: KeyInfrastructure,
+        schedule: RoundSchedule,
+        config: Optional[Pi2Config] = None,
+        reporters: Optional[Dict[str, Reporter]] = None,
+        on_suspicion: Optional[Callable[[Suspicion], None]] = None,
+    ) -> None:
+        self.network = network
+        self.monitor = monitor
+        self.keys = keys
+        self.schedule = schedule
+        self.config = config or Pi2Config()
+        self.reporters = reporters or {}
+        self.on_suspicion = on_suspicion
+        self.segments: List[PathSegment] = sorted(set(tuple(s) for s in segments))
+        for segment in self.segments:
+            monitor.watch_segment(segment)  # every member records
+        self.states: Dict[str, DetectorState] = {
+            name: DetectorState(name) for name in network.topology.routers
+        }
+        self.tv_log: List[Tuple[int, PathSegment, str, TVResult]] = []
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule_rounds(self, first_round: int, last_round: int) -> None:
+        for r in range(first_round, last_round + 1):
+            when = self.schedule.round_end(r) + self.config.settle_delay
+            self.network.sim.schedule_at(when, self.evaluate_round, r)
+
+    # -- one round --------------------------------------------------------------
+    def evaluate_round(self, round_index: int) -> None:
+        for segment in self.segments:
+            self._evaluate_segment(segment, round_index)
+
+    def _evaluate_segment(self, segment: PathSegment, round_index: int) -> None:
+        members = list(segment)
+        interval = self.schedule.interval(round_index)
+        # 1. Each member produces its (received, sent) summary pair; the
+        #    reporter hook models protocol-faulty claims.
+        inputs: Dict[str, object] = {}
+        behaviors: Dict[str, FaultyBehavior] = {}
+        for i, member in enumerate(members):
+            received = self.monitor.summary(segment, member, "received",
+                                            round_index)
+            sent = self.monitor.summary(segment, member, "sent", round_index)
+            honest = (received, sent)
+            claim = self.reporters.get(member, honest_reporter)(honest)
+            if claim is None:
+                behaviors[member] = Silent()
+            elif isinstance(claim, tuple) and len(claim) == 2 and all(
+                isinstance(c, tuple) for c in claim
+            ):
+                # Pair of two distinct claims => equivocation.
+                behaviors[member] = Equivocator(claim[0], claim[1])
+            else:
+                inputs[member] = claim
+
+        # 2. Consensus on the signed claims (f = members that could be bad).
+        consensus = SignedConsensus(members, self.keys,
+                                    max_faults=max(1, len(members) - 2))
+        results = consensus.run(inputs, faulty=behaviors)
+
+        # 3. Every correct member evaluates TV on the agreed vector.
+        decided = next(iter(results.values()), None)
+        if decided is None:
+            return
+        agreed: Dict[str, Optional[Tuple[TrafficSummary, TrafficSummary]]] = {}
+        for member in members:
+            value = decided.values.get(member)
+            agreed[member] = value if isinstance(value, tuple) else None
+
+        suspicions: List[Suspicion] = []
+        for idx, member in enumerate(members):
+            if agreed[member] is not None:
+                continue
+            # Silent or equivocating: protocol faulty with proof.  Suspect
+            # the adjacent 2-segments (precision 2 preserved; each contains
+            # the provably faulty member).
+            for nbr_idx in (idx - 1, idx + 1):
+                if 0 <= nbr_idx < len(members):
+                    seg2 = ((members[nbr_idx], member) if nbr_idx < idx
+                            else (member, members[nbr_idx]))
+                    suspicions.append(Suspicion(
+                        segment=seg2, interval=interval,
+                        suspected_by=member,
+                        reason=f"protocol-faulty {member} in consensus",
+                    ))
+        self._finish_segment(segment, round_index, members, interval,
+                             agreed, suspicions)
+
+    def _finish_segment(self, segment, round_index, members, interval,
+                        agreed, suspicions) -> None:
+        # link + transit checks over the agreed vector
+        for i in range(len(members) - 1):
+            a, b = members[i], members[i + 1]
+            if agreed[a] is None or agreed[b] is None:
+                continue
+            sent_a = agreed[a][1]
+            recv_b = agreed[b][0]
+            result = self._tv(sent_a, recv_b)
+            self.tv_log.append((round_index, segment, f"link {a}->{b}", result))
+            if not result.ok:
+                suspicions.append(Suspicion(
+                    segment=(a, b), interval=interval, suspected_by=a,
+                    reason=f"link TV failed: {result.detail}",
+                ))
+        for i in range(1, len(members) - 1):
+            member = members[i]
+            if agreed[member] is None:
+                continue
+            received, sent = agreed[member]
+            result = self._tv(received, sent)
+            self.tv_log.append((round_index, segment,
+                                f"transit {member}", result))
+            if not result.ok:
+                suspicions.append(Suspicion(
+                    segment=(member, members[i + 1]), interval=interval,
+                    suspected_by=member,
+                    reason=f"transit TV failed at {member}: {result.detail}",
+                ))
+
+        if not suspicions:
+            return
+        # 4. All correct members adopt the suspicions; evidence is
+        #    reliably broadcast so every correct router in the network
+        #    converges on the same detections (strong completeness).
+        compromised = {name for name, r in self.network.routers.items()
+                       if r.compromise is not None}
+        unique = {(s.segment, s.reason): s for s in suspicions}
+        for suspicion in unique.values():
+            # Every correct member adopts the suspicion and floods the
+            # signed evidence.  Flooding from *each* member matters: a
+            # protocol-faulty router may suppress relays, and only the
+            # members on its far side can reach the routers there.
+            for member in members:
+                if member in compromised:
+                    continue
+                self.states[member].suspect(suspicion)
+                robust_flood(
+                    self.network, member, suspicion,
+                    on_deliver=lambda at, msg, t: self.states[at].suspect(msg),
+                )
+            if self.on_suspicion is not None:
+                self.on_suspicion(suspicion)
+
+    def _tv(self, upstream: TrafficSummary, downstream: TrafficSummary) -> TVResult:
+        return validate(
+            upstream, downstream,
+            threshold=self.config.threshold,
+            reorder_threshold=self.config.reorder_threshold,
+            max_delay=self.config.max_delay,
+        )

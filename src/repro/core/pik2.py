@@ -1,0 +1,206 @@
+"""Protocol Πk+2 — complete, accurate, precision k+2 (Fig 5.3).
+
+Only the *ends* of each monitored x-path-segment (3 ≤ x ≤ k+2) validate.
+At the end of each round the two ends exchange digitally signed summaries
+**through the monitored path-segment itself** within a timeout µ; if the
+exchange fails (a protocol-faulty intermediate suppressed it) or TV over
+the exchanged summaries fails, the end suspects the whole segment and
+reliably broadcasts the signed suspicion [π]_r.
+
+Because intermediate routers neither record nor relay summaries, the
+protocol is cheap (Fig 5.4) and admits *secret sampling*: the ends agree
+on a keyed hash range unknown to intermediaries, so a faulty router
+cannot confine its attack to unmonitored packets (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.detector import DetectorState, Suspicion
+from repro.core.codecs import EncodedSummary, encode_summary, validate_encoded
+from repro.core.summaries import (
+    PathOracle,
+    PathSegment,
+    SegmentMonitor,
+    SummaryPolicy,
+    TrafficSummary,
+)
+from repro.core.validation import TVResult, validate
+from repro.crypto.keys import KeyInfrastructure
+from repro.crypto.signatures import Signed
+from repro.dist.broadcast import robust_flood
+from repro.dist.sync import RoundSchedule
+from repro.net.router import Network
+
+
+@dataclass
+class PiK2Config:
+    k: int = 1
+    threshold: int = 0
+    reorder_threshold: int = 0
+    settle_delay: float = 0.2
+    exchange_timeout: float = 1.0  # µ
+    max_delay: Optional[float] = None
+    # How content summaries travel (§2.4.1): "full" fingerprints,
+    # "polynomial" set reconciliation (exact up to codec_max_diff), or
+    # "bloom" filters (approximate, constant size).
+    codec: str = "full"
+    codec_max_diff: int = 16
+    codec_bloom_bits: int = 2048
+    codec_bloom_hashes: int = 4
+
+
+# Protocol-faulty claim hook for an *end* router: maps the honest summary
+# to what it actually sends (or None to stay silent).
+EndReporter = Callable[[TrafficSummary], Optional[TrafficSummary]]
+
+
+class ProtocolPiK2:
+    """Distributed Πk+2 over a simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        monitor: SegmentMonitor,
+        segments: Iterable[PathSegment],
+        keys: KeyInfrastructure,
+        schedule: RoundSchedule,
+        config: Optional[PiK2Config] = None,
+        reporters: Optional[Dict[str, EndReporter]] = None,
+        on_suspicion: Optional[Callable[[Suspicion], None]] = None,
+    ) -> None:
+        self.network = network
+        self.monitor = monitor
+        self.keys = keys
+        self.schedule = schedule
+        self.config = config or PiK2Config()
+        self.reporters = reporters or {}
+        self.on_suspicion = on_suspicion
+        self.segments = sorted(set(tuple(s) for s in segments))
+        for segment in self.segments:
+            # Only the two ends record traffic for this segment.
+            monitor.watch_segment(segment,
+                                  monitors=(segment[0], segment[-1]))
+        self.states: Dict[str, DetectorState] = {
+            name: DetectorState(name) for name in network.topology.routers
+        }
+        self.tv_log: List[Tuple[int, PathSegment, TVResult]] = []
+        self.stopped = False
+        self.exchange_bytes = 0  # summary bandwidth (ablation metric)
+        # (segment, round) -> received remote summary at the sink end
+        self._mailbox: Dict[Tuple[PathSegment, int, str], TrafficSummary] = {}
+
+    def schedule_rounds(self, first_round: int, last_round: int) -> None:
+        for r in range(first_round, last_round + 1):
+            when = self.schedule.round_end(r) + self.config.settle_delay
+            self.network.sim.schedule_at(when, self._start_exchanges, r)
+
+    # -- exchange phase -----------------------------------------------------
+    def stop(self) -> None:
+        """Disarm future rounds (in-flight conclusions still finish).
+
+        Used after a detection: the response reroutes traffic, so this
+        instance's path oracle is stale and further rounds would
+        misattribute traffic during the transient (§4.1).
+        """
+        self.stopped = True
+
+    def _start_exchanges(self, round_index: int) -> None:
+        if self.stopped:
+            return
+        for segment in self.segments:
+            self._exchange_segment(segment, round_index)
+
+    def _exchange_segment(self, segment: PathSegment, round_index: int) -> None:
+        source, sink = segment[0], segment[-1]
+        # The source sends its "sent into π" summary to the sink, through π.
+        honest = self.monitor.summary(segment, source, "sent", round_index)
+        claim = self.reporters.get(source, lambda s: s)(honest)
+        if claim is not None:
+            if (self.config.codec != "full"
+                    and isinstance(claim, TrafficSummary)
+                    and claim.policy is SummaryPolicy.CONTENT):
+                claim = encode_summary(
+                    claim, codec=self.config.codec,
+                    max_diff=self.config.codec_max_diff,
+                    bloom_bits=self.config.codec_bloom_bits,
+                    bloom_hashes=self.config.codec_bloom_hashes,
+                )
+                self.exchange_bytes += claim.wire_bytes
+            elif isinstance(claim, TrafficSummary):
+                fps = claim.fingerprints
+                self.exchange_bytes += 16 + 8 * (len(fps) if fps else 0)
+            signed = Signed.sign(claim, source, self.keys.signing_key(source))
+            self.network.send_control(
+                source, sink, (segment, round_index, signed),
+                on_deliver=self._deliver_summary,
+                via_path=segment,
+            )
+        # Timeout at the sink: if nothing verifiable arrived by µ, suspect.
+        self.network.sim.schedule(
+            self.config.exchange_timeout, self._conclude, segment, round_index
+        )
+
+    def _deliver_summary(self, message) -> None:
+        segment, round_index, signed = message
+        sink = segment[-1]
+        if not isinstance(signed, Signed):
+            return
+        if not signed.verify(self.keys.signing_key(signed.signer)):
+            return  # tampered in transit; timeout will fire
+        if signed.signer != segment[0]:
+            return
+        self._mailbox[(tuple(segment), round_index, sink)] = signed.payload
+
+    def _conclude(self, segment: PathSegment, round_index: int) -> None:
+        sink = segment[-1]
+        # A compromised sink is a faulty *validator*: it simply stays
+        # silent.  This is why AdjacentFault(k) forces monitored segments
+        # of length k+2 — only then is some segment spanning the faulty
+        # run guaranteed two correct ends (§5.2, Appendix B).
+        if self.network.routers[sink].compromise is not None:
+            self._mailbox.pop((tuple(segment), round_index, sink), None)
+            return
+        interval = self.schedule.interval(round_index)
+        remote = self._mailbox.pop((tuple(segment), round_index, sink), None)
+        if remote is None:
+            self._suspect(segment, interval, sink,
+                          "summary exchange timed out")
+            return
+        local = self.monitor.summary(segment, sink, "received", round_index)
+        if isinstance(remote, EncodedSummary):
+            result = validate_encoded(
+                remote, local, threshold=self.config.threshold,
+                bloom_bits=self.config.codec_bloom_bits,
+                bloom_hashes=self.config.codec_bloom_hashes,
+            )
+        else:
+            result = validate(
+                remote, local,
+                threshold=self.config.threshold,
+                reorder_threshold=self.config.reorder_threshold,
+                max_delay=self.config.max_delay,
+            )
+        self.tv_log.append((round_index, segment, result))
+        if not result.ok:
+            self._suspect(segment, interval, sink,
+                          f"TV failed: {result.detail}")
+
+    def _suspect(self, segment: PathSegment, interval, origin: str,
+                 reason: str) -> None:
+        suspicion = Suspicion(segment=tuple(segment), interval=interval,
+                              suspected_by=origin, reason=reason)
+        compromised = {name for name, r in self.network.routers.items()
+                       if r.compromise is not None}
+        if origin not in compromised:
+            self.states[origin].suspect(suspicion)
+        # Strong completeness: the signed suspicion is reliably broadcast;
+        # every correct router adopts it (§5.2: announce [π]_r).
+        robust_flood(
+            self.network, origin, suspicion,
+            on_deliver=lambda at, msg, t: self.states[at].suspect(msg),
+        )
+        if self.on_suspicion is not None:
+            self.on_suspicion(suspicion)

@@ -1,0 +1,224 @@
+"""Centralized failure detection via active replication (§2.3, Fig 2.1).
+
+The ideal detector: an identical replica r′ of router r listens to r's
+inputs in promiscuous mode, recomputes what r *should* emit, and compares
+with what r actually emits.  Any divergence means either r or the
+detector is faulty.
+
+The paper uses this construction to frame the two limitations the
+distributed protocols remove:
+
+* **complexity/nondeterminism** — the replica must reproduce internal
+  multiplexing and randomization exactly.  Our RED replica demonstrates
+  this: give it the monitored queue's RNG seed and it is exact; deny it
+  the seed and a *correct* router trips false alarms
+  (``tests/test_replica.py`` exercises both).
+* **resource cost** — a full shadow per router; the traffic-validation
+  protocols amortize this into summaries.
+
+The droptail replica is a deterministic single-server FIFO recomputation
+(arrival order in = departure order out, drop iff the waiting room
+overflows), so for droptail the detector is exact up to a configurable
+timing slack.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.fingerprint import fingerprint
+from repro.net.packet import Packet
+from repro.net.queues import REDQueue, REDParams
+from repro.net.router import MonitorTap, Network, Router
+
+
+@dataclass
+class ReplicaDiscrepancy:
+    kind: str  # "missing" | "unexpected" | "reordered"
+    interface: str
+    fp: int
+    detail: str = ""
+
+
+@dataclass
+class _PredictedOutput:
+    fp: int
+    size: int
+    finish_time: float
+
+
+class _FifoReplica:
+    """Deterministic recomputation of one droptail output interface."""
+
+    def __init__(self, bandwidth: float, limit_bytes: int) -> None:
+        self.bandwidth = bandwidth
+        self.limit_bytes = limit_bytes
+        self._service_free_at = 0.0
+        # (service_start, size) of admitted packets, for occupancy checks
+        self._waiting: List[Tuple[float, int]] = []
+        self.outputs: List[_PredictedOutput] = []
+        self.predicted_drops: List[int] = []
+
+    def arrival(self, fp: int, size: int, when: float) -> None:
+        # Waiting-room occupancy: admitted packets whose service has not
+        # started by ``when`` (the live queue pops at service start).
+        occupancy = sum(s for start, s in self._waiting if start > when)
+        if occupancy + size > self.limit_bytes:
+            self.predicted_drops.append(fp)
+            return
+        start = max(when, self._service_free_at)
+        finish = start + size / self.bandwidth
+        self._service_free_at = finish
+        self._waiting.append((start, size))
+        self.outputs.append(_PredictedOutput(fp, size, finish))
+
+
+class _REDReplica:
+    """Recomputation of a RED interface; exact only with the shared RNG.
+
+    Mirrors the live OutputInterface exactly: the queue holds packets
+    until the transmitter pops them at service start, so the occupancy
+    (and hence the RED average and every probabilistic decision, given
+    the shared RNG) evolves identically.
+    """
+
+    def __init__(self, bandwidth: float, limit_bytes: int,
+                 params: REDParams, rng: random.Random) -> None:
+        self.bandwidth = bandwidth
+        self.queue = REDQueue(limit_bytes, params=params, rng=rng)
+        self._service_free_at = 0.0
+        self._fps: Dict[int, int] = {}  # packet uid -> fingerprint
+        self.outputs: List[_PredictedOutput] = []
+        self.predicted_drops: List[int] = []
+
+    def _drain(self, when: float) -> None:
+        """Pop-and-transmit every packet whose service starts by ``when``."""
+        while not self.queue.empty and self._service_free_at <= when:
+            packet = self.queue.pop(self._service_free_at)
+            if packet is None:
+                return
+            finish = max(self._service_free_at, 0.0) + packet.size / self.bandwidth
+            self.outputs.append(_PredictedOutput(
+                self._fps.pop(packet.uid, 0), packet.size, finish))
+            self._service_free_at = finish
+
+    def arrival(self, fp: int, size: int, when: float) -> None:
+        self._service_free_at = max(self._service_free_at, 0.0)
+        self._drain(when)
+        if self.queue.empty and self._service_free_at < when:
+            self._service_free_at = when
+        packet = Packet(src="replica", dst="replica", size=size)
+        accepted, _, _ = self.queue.offer(packet, when)
+        if not accepted:
+            self.predicted_drops.append(fp)
+            return
+        self._fps[packet.uid] = fp
+        self._drain(when)  # the live interface starts service immediately
+
+    def flush(self, until: float) -> None:
+        self._drain(until)
+
+
+class ReplicaDetector(MonitorTap):
+    """Shadow one router with a replica and compare output streams.
+
+    For droptail interfaces the replica is exact; for RED pass
+    ``red_seeds[(router, neighbor)]`` matching the live queue's RNG seed
+    to share the randomization source (§2.3), or omit it to observe the
+    nondeterminism problem first-hand.
+    """
+
+    def __init__(self, network: Network, router: str,
+                 fingerprint_key: bytes = b"",
+                 red_seeds: Optional[Dict[Tuple[str, str], int]] = None,
+                 time_slack: float = 0.01) -> None:
+        self.network = network
+        self.router = router
+        self.fingerprint_key = fingerprint_key
+        self.time_slack = time_slack
+        self.replicas: Dict[str, object] = {}
+        self.actual_outputs: Dict[str, List[Tuple[int, float]]] = {}
+        target = network.routers[router]
+        red_seeds = red_seeds or {}
+        for nbr, iface in target.interfaces.items():
+            queue = iface.queue
+            if isinstance(queue, REDQueue):
+                seed = red_seeds.get((router, nbr))
+                # No seed => deliberately divergent RNG (the §2.3
+                # nondeterminism problem, observable as false alarms).
+                rng = random.Random(seed if seed is not None else 0xBAD5EED)
+                self.replicas[nbr] = _REDReplica(
+                    iface.link.bandwidth, queue.limit_bytes, queue.params,
+                    rng)
+            else:
+                self.replicas[nbr] = _FifoReplica(
+                    iface.link.bandwidth, queue.limit_bytes)
+            self.actual_outputs[nbr] = []
+
+    def _fp(self, packet: Packet) -> int:
+        return fingerprint(packet, self.fingerprint_key)
+
+    # -- promiscuous listening --------------------------------------------------
+    def on_receive(self, router: Router, from_nbr: str, packet: Packet,
+                   time: float) -> None:
+        if router.name != self.router or packet.dst == self.router:
+            return
+        out_nbr = router.next_hop(packet)
+        if out_nbr is None or out_nbr not in self.replicas:
+            return
+        self.replicas[out_nbr].arrival(self._fp(packet), packet.size, time)
+
+    def on_transmit(self, router: Router, out_nbr: str, packet: Packet,
+                    time: float) -> None:
+        if router.name != self.router:
+            return
+        if out_nbr in self.actual_outputs:
+            self.actual_outputs[out_nbr].append((self._fp(packet), time))
+
+    # -- comparison ----------------------------------------------------------------
+    def compare(self, until: Optional[float] = None) -> List[ReplicaDiscrepancy]:
+        """Diff replica predictions against the router's actual outputs.
+
+        Only predictions whose finish time is at least ``time_slack``
+        before ``until`` are demanded (later ones may still be in
+        flight).
+        """
+        horizon = until if until is not None else self.network.sim.now
+        discrepancies: List[ReplicaDiscrepancy] = []
+        for nbr, replica in self.replicas.items():
+            if hasattr(replica, "flush"):
+                replica.flush(horizon)
+            predicted = [p for p in replica.outputs
+                         if p.finish_time + self.time_slack < horizon]
+            actual = self.actual_outputs[nbr]
+            actual_fps = [fp for fp, _ in actual]
+            actual_set = set(actual_fps)
+            predicted_set = {p.fp for p in predicted}
+            for p in predicted:
+                if p.fp not in actual_set:
+                    discrepancies.append(ReplicaDiscrepancy(
+                        "missing", nbr, p.fp,
+                        f"replica emitted by {p.finish_time:.4f}, "
+                        f"router never did"))
+            for fp, when in actual:
+                if when + self.time_slack >= horizon:
+                    continue
+                if fp not in predicted_set and fp not in {
+                        d for d in getattr(replica, "predicted_drops", [])}:
+                    discrepancies.append(ReplicaDiscrepancy(
+                        "unexpected", nbr, fp,
+                        f"router emitted at {when:.4f}, replica did not"))
+            # Order check over the common fingerprints.
+            common = predicted_set & actual_set
+            pred_order = [p.fp for p in predicted if p.fp in common]
+            act_order = [fp for fp in actual_fps if fp in common]
+            if pred_order != act_order:
+                discrepancies.append(ReplicaDiscrepancy(
+                    "reordered", nbr, pred_order[0] if pred_order else 0,
+                    "output order diverges from replica"))
+        return discrepancies
+
+    def alarmed(self, until: Optional[float] = None) -> bool:
+        return bool(self.compare(until))

@@ -1,0 +1,75 @@
+"""The static-threshold baseline (§6.1.1).
+
+Every pre-χ protocol resolved congestion ambiguity the same way: count
+losses per path-segment per round, and call the segment faulty when the
+count (or rate) exceeds a user-defined threshold.  §6.4.3 argues this is
+fundamentally unsound — a threshold low enough to catch a subtle attack
+false-positives on benign congestion, and one high enough to stay quiet
+under congestion grants the attacker that many free drops.
+
+This detector consumes the same summaries as Πk+2 (upstream "sent" vs
+downstream "received" per round) so the χ-vs-threshold bench compares
+like for like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.detector import Suspicion
+from repro.core.summaries import PathSegment, TrafficSummary
+
+
+@dataclass
+class ThresholdVerdict:
+    segment: PathSegment
+    round_index: int
+    losses: int
+    sent: int
+    rate: float
+    alarmed: bool
+
+
+class StaticThresholdDetector:
+    """Alarm when per-round losses exceed a fixed count or rate."""
+
+    def __init__(self, loss_threshold: Optional[int] = None,
+                 rate_threshold: Optional[float] = None) -> None:
+        if loss_threshold is None and rate_threshold is None:
+            raise ValueError("need a count threshold, a rate threshold, or both")
+        self.loss_threshold = loss_threshold
+        self.rate_threshold = rate_threshold
+        self.verdicts: List[ThresholdVerdict] = []
+
+    def observe_round(
+        self,
+        segment: PathSegment,
+        round_index: int,
+        upstream: TrafficSummary,
+        downstream: TrafficSummary,
+    ) -> ThresholdVerdict:
+        if upstream.fingerprints is not None and downstream.fingerprints is not None:
+            losses = len(upstream.fingerprints - downstream.fingerprints)
+        else:
+            losses = max(0, upstream.count - downstream.count)
+        sent = upstream.count
+        rate = losses / sent if sent else 0.0
+        alarmed = False
+        if self.loss_threshold is not None and losses > self.loss_threshold:
+            alarmed = True
+        if self.rate_threshold is not None and sent > 0 and rate > self.rate_threshold:
+            alarmed = True
+        verdict = ThresholdVerdict(
+            segment=tuple(segment), round_index=round_index,
+            losses=losses, sent=sent, rate=rate, alarmed=alarmed,
+        )
+        self.verdicts.append(verdict)
+        return verdict
+
+    def alarms(self) -> List[ThresholdVerdict]:
+        return [v for v in self.verdicts if v.alarmed]
+
+    def false_positive_rounds(self, malicious_rounds: set) -> List[ThresholdVerdict]:
+        return [v for v in self.alarms()
+                if (v.segment, v.round_index) not in malicious_rounds]

@@ -1,0 +1,389 @@
+"""Traffic summaries: info(r, π, τ).
+
+A summary is what one router remembers about the traffic it forwarded
+along a monitored path-segment during a validation round.  The four
+conservation policies of §2.4.1 need increasingly rich summaries:
+
+==================  ==========================================
+policy              summary content
+==================  ==========================================
+conservation of     packet & byte counters
+flow
+conservation of     set of packet fingerprints (+ counters)
+content
+conservation of     *ordered* list of fingerprints
+order
+conservation of     fingerprints with timestamps
+timeliness
+==================  ==========================================
+
+The :class:`SegmentMonitor` tap plays the role of Fatih's in-kernel
+Traffic Summary Generator (§5.3.1): it watches transmit/receive events,
+attributes packets to monitored path-segments using the routing-derived
+:class:`PathOracle`, and accumulates per-round :class:`SummaryBuilder`s.
+
+**Round attribution.**  Both ends of a link attribute a packet to the
+round of the moment the packet *left the upstream router* (receivers
+subtract the known link propagation delay).  This removes the in-flight
+boundary ambiguity the paper folds into TV slack; residual disagreement
+comes only from clock skew, which the TV threshold still covers.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto.fingerprint import FingerprintSampler, fingerprint
+from repro.dist.sync import ClockModel, RoundSchedule
+from repro.net.packet import Packet
+from repro.net.router import MonitorTap, Network, Router
+
+PathSegment = Tuple[str, ...]
+
+
+class SummaryPolicy(enum.Enum):
+    """Which conservation-of-traffic property a summary supports."""
+
+    FLOW = "flow"
+    CONTENT = "content"
+    ORDER = "order"
+    TIMELINESS = "timeliness"
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Immutable info(r, π, τ) for one direction of observation."""
+
+    router: str
+    segment: PathSegment
+    round_index: int
+    direction: str  # "sent" (transmit toward next hop) | "received"
+    policy: SummaryPolicy
+    count: int
+    byte_count: int
+    fingerprints: Optional[FrozenSet[int]] = None
+    ordered: Optional[Tuple[int, ...]] = None
+    timestamps: Optional[Tuple[Tuple[int, float], ...]] = None
+
+
+class SummaryBuilder:
+    """Accumulates one router's observations for one (segment, round)."""
+
+    def __init__(self, router: str, segment: PathSegment, round_index: int,
+                 direction: str, policy: SummaryPolicy) -> None:
+        self.router = router
+        self.segment = segment
+        self.round_index = round_index
+        self.direction = direction
+        self.policy = policy
+        self.count = 0
+        self.byte_count = 0
+        self._fingerprints: Set[int] = set()
+        self._ordered: List[int] = []
+        self._timestamps: List[Tuple[int, float]] = []
+
+    def observe(self, fp: int, size: int, when: float) -> None:
+        self.count += 1
+        self.byte_count += size
+        if self.policy in (SummaryPolicy.CONTENT, SummaryPolicy.ORDER,
+                           SummaryPolicy.TIMELINESS):
+            self._fingerprints.add(fp)
+        if self.policy in (SummaryPolicy.ORDER, SummaryPolicy.TIMELINESS):
+            self._ordered.append(fp)
+        if self.policy is SummaryPolicy.TIMELINESS:
+            self._timestamps.append((fp, when))
+
+    def freeze(self) -> TrafficSummary:
+        return TrafficSummary(
+            router=self.router,
+            segment=self.segment,
+            round_index=self.round_index,
+            direction=self.direction,
+            policy=self.policy,
+            count=self.count,
+            byte_count=self.byte_count,
+            fingerprints=(frozenset(self._fingerprints)
+                          if self.policy is not SummaryPolicy.FLOW else None),
+            ordered=(tuple(self._ordered)
+                     if self.policy in (SummaryPolicy.ORDER,
+                                        SummaryPolicy.TIMELINESS) else None),
+            timestamps=(tuple(self._timestamps)
+                        if self.policy is SummaryPolicy.TIMELINESS else None),
+        )
+
+    def state_size(self) -> int:
+        """Rough per-round state footprint in 'units' (for overhead benches)."""
+        if self.policy is SummaryPolicy.FLOW:
+            return 2  # packet + byte counter
+        if self.policy is SummaryPolicy.CONTENT:
+            return len(self._fingerprints)
+        if self.policy is SummaryPolicy.ORDER:
+            return len(self._ordered)
+        return 2 * len(self._timestamps)
+
+
+class PathOracle:
+    """Predicts the forwarding path of a packet (§4.1).
+
+    With link-state routing and deterministic ECMP hashing, any router can
+    compute the stable-state path a packet will take from its own tables.
+    The oracle is built from the same path map the routing layer installed
+    so monitors and forwarding agree by construction.
+    """
+
+    def __init__(self, paths: Dict[Tuple[str, str], List[str]]) -> None:
+        self._paths = {pair: tuple(path) for pair, path in paths.items()}
+
+    def path(self, src: str, dst: str) -> Optional[Tuple[str, ...]]:
+        return self._paths.get((src, dst))
+
+    def packet_path(self, packet: Packet) -> Optional[Tuple[str, ...]]:
+        return self.path(packet.src, packet.dst)
+
+    def traverses(self, packet: Packet, segment: PathSegment) -> Optional[int]:
+        """Index of ``segment`` inside the packet's path, or None."""
+        path = self.packet_path(packet)
+        if path is None:
+            return None
+        seg_len = len(segment)
+        for i in range(len(path) - seg_len + 1):
+            if path[i:i + seg_len] == segment:
+                return i
+        return None
+
+    def next_hop_after(self, packet: Packet, router: str) -> Optional[str]:
+        path = self.packet_path(packet)
+        if path is None or router not in path:
+            return None
+        idx = path.index(router)
+        if idx + 1 >= len(path):
+            return None
+        return path[idx + 1]
+
+    def all_paths(self) -> List[Tuple[str, ...]]:
+        return list(self._paths.values())
+
+
+class EcmpPathOracle(PathOracle):
+    """Path prediction that honours ECMP and policy routing (§7.4.1).
+
+    §4.1: with deterministic ECMP hashing "a router can predict the path
+    that a packet will take in the stable state based on its own routing
+    tables and the hash functions."  This oracle does exactly that: it
+    walks the live routers' ``next_hop`` decision per packet (which folds
+    in the flow-hash ECMP choice and any policy entries), so monitors
+    stay correct when the forwarding tables hold multiple next hops.
+
+    Predictions are memoized per (src, dst, flow_id); call
+    :meth:`invalidate` after a routing change.
+    """
+
+    def __init__(self, network) -> None:
+        super().__init__({})
+        self.network = network
+        self._cache: Dict[Tuple[str, str, str], Optional[Tuple[str, ...]]] = {}
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    def packet_path(self, packet: Packet) -> Optional[Tuple[str, ...]]:
+        key = (packet.src, packet.dst, packet.flow_id)
+        if key in self._cache:
+            return self._cache[key]
+        path = self._trace(packet)
+        self._cache[key] = path
+        return path
+
+    def path(self, src: str, dst: str) -> Optional[Tuple[str, ...]]:
+        # Flow-less prediction: trace with an anonymous flow.
+        probe = Packet(src=src, dst=dst, flow_id="")
+        return self._trace(probe)
+
+    def _trace(self, packet: Packet) -> Optional[Tuple[str, ...]]:
+        here = packet.src
+        hops = [here]
+        limit = len(self.network.routers) + 1
+        while here != packet.dst:
+            router = self.network.routers.get(here)
+            if router is None:
+                return None
+            nxt = router.next_hop(packet)
+            if nxt is None or nxt in hops:
+                return None  # no route or loop
+            hops.append(nxt)
+            here = nxt
+            if len(hops) > limit:
+                return None
+        return tuple(hops)
+
+    def traverses(self, packet: Packet, segment: PathSegment) -> Optional[int]:
+        path = self.packet_path(packet)
+        if path is None:
+            return None
+        seg_len = len(segment)
+        for i in range(len(path) - seg_len + 1):
+            if path[i:i + seg_len] == segment:
+                return i
+        return None
+
+    def next_hop_after(self, packet: Packet, router: str) -> Optional[str]:
+        path = self.packet_path(packet)
+        if path is None or router not in path:
+            return None
+        idx = path.index(router)
+        if idx + 1 >= len(path):
+            return None
+        return path[idx + 1]
+
+
+class SegmentMonitor(MonitorTap):
+    """Per-router traffic summary generator for a set of path-segments.
+
+    For each monitored segment π = ⟨r1..rx⟩ and each member rᵢ the
+    monitor records:
+
+    * ``sent`` — packets rᵢ transmitted to rᵢ₊₁ that follow π (i < x);
+    * ``received`` — packets rᵢ received from rᵢ₋₁ that follow π (i > 0).
+
+    Only routers named in ``monitors`` actually record (Π2 needs every
+    member; Πk+2 only the two ends).  A :class:`FingerprintSampler` may
+    restrict recording to an agreed hash range (§5.2.1); a
+    :class:`ClockModel` lets tests inject bounded clock skew into round
+    attribution.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        oracle: PathOracle,
+        schedule: RoundSchedule,
+        policy: SummaryPolicy = SummaryPolicy.CONTENT,
+        fingerprint_key: bytes = b"",
+        clock: Optional[ClockModel] = None,
+        samplers: Optional[Dict[PathSegment, FingerprintSampler]] = None,
+    ) -> None:
+        self.network = network
+        self.oracle = oracle
+        self.schedule = schedule
+        self.policy = policy
+        self.fingerprint_key = fingerprint_key
+        self.clock = clock or ClockModel(epsilon=0.0)
+        self.samplers = samplers or {}
+        # segment -> member -> role bookkeeping
+        self._segments: Set[PathSegment] = set()
+        self._monitors: Dict[PathSegment, Set[str]] = {}
+        # watch index: (router, neighbor, direction) -> list of segments
+        self._send_watch: Dict[Tuple[str, str], List[PathSegment]] = defaultdict(list)
+        self._recv_watch: Dict[Tuple[str, str], List[PathSegment]] = defaultdict(list)
+        # (segment, router, direction, round) -> SummaryBuilder
+        self._builders: Dict[Tuple[PathSegment, str, str, int], SummaryBuilder] = {}
+
+    # -- configuration -------------------------------------------------------
+    def watch_segment(self, segment: PathSegment,
+                      monitors: Optional[Iterable[str]] = None) -> None:
+        segment = tuple(segment)
+        if len(segment) < 2:
+            raise ValueError("a path-segment has at least two routers")
+        self._segments.add(segment)
+        members = set(monitors) if monitors is not None else set(segment)
+        self._monitors[segment] = members
+        for i, router in enumerate(segment):
+            if router not in members:
+                continue
+            if i + 1 < len(segment):
+                self._send_watch[(router, segment[i + 1])].append(segment)
+            if i > 0:
+                self._recv_watch[(router, segment[i - 1])].append(segment)
+
+    @property
+    def segments(self) -> Set[PathSegment]:
+        return set(self._segments)
+
+    # -- observation ----------------------------------------------------------
+    def _record(self, segment: PathSegment, router: str, direction: str,
+                packet: Packet, left_upstream_at: float) -> None:
+        sampler = self.samplers.get(segment)
+        if sampler is not None and not sampler.sampled(packet):
+            return
+        local = self.clock.local_time(router, left_upstream_at)
+        round_index = self.schedule.round_of(local)
+        key = (segment, router, direction, round_index)
+        builder = self._builders.get(key)
+        if builder is None:
+            builder = SummaryBuilder(router, segment, round_index,
+                                     direction, self.policy)
+            self._builders[key] = builder
+        fp = fingerprint(packet, self.fingerprint_key)
+        builder.observe(fp, packet.size, local)
+
+    def on_transmit(self, router: Router, out_nbr: str, packet: Packet,
+                    time: float) -> None:
+        for segment in self._send_watch.get((router.name, out_nbr), ()):
+            idx = self.oracle.traverses(packet, segment)
+            if idx is None:
+                continue
+            pos = segment.index(router.name)
+            # The packet must actually be at our position of the segment.
+            path = self.oracle.packet_path(packet)
+            if path is None or path[idx + pos] != router.name:
+                continue
+            self._record(segment, router.name, "sent", packet, time)
+
+    def on_receive(self, router: Router, from_nbr: str, packet: Packet,
+                   time: float) -> None:
+        watches = self._recv_watch.get((router.name, from_nbr), ())
+        if not watches:
+            return
+        link = self.network.topology.link(from_nbr, router.name)
+        left_upstream = time - link.delay
+        for segment in watches:
+            idx = self.oracle.traverses(packet, segment)
+            if idx is None:
+                continue
+            pos = segment.index(router.name)
+            path = self.oracle.packet_path(packet)
+            if path is None or path[idx + pos] != router.name:
+                continue
+            self._record(segment, router.name, "received", packet,
+                         left_upstream)
+
+    # -- retrieval -------------------------------------------------------------
+    def summary(self, segment: PathSegment, router: str, direction: str,
+                round_index: int) -> TrafficSummary:
+        key = (tuple(segment), router, direction, round_index)
+        builder = self._builders.get(key)
+        if builder is None:
+            builder = SummaryBuilder(router, tuple(segment), round_index,
+                                     direction, self.policy)
+        return builder.freeze()
+
+    def segment_summaries(self, segment: PathSegment,
+                          round_index: int) -> Dict[Tuple[str, str], TrafficSummary]:
+        """All members' summaries for one round: (router, direction) keyed."""
+        segment = tuple(segment)
+        out: Dict[Tuple[str, str], TrafficSummary] = {}
+        for i, router in enumerate(segment):
+            if router not in self._monitors.get(segment, ()):
+                continue
+            if i + 1 < len(segment):
+                out[(router, "sent")] = self.summary(segment, router, "sent",
+                                                     round_index)
+            if i > 0:
+                out[(router, "received")] = self.summary(
+                    segment, router, "received", round_index
+                )
+        return out
+
+    def state_units(self, router: str) -> int:
+        """Current summary state held at ``router`` (overhead benches)."""
+        return sum(b.state_size() for (seg, r, d, _), b in self._builders.items()
+                   if r == router)
+
+    def drop_rounds_before(self, round_index: int) -> None:
+        """Forget state for rounds older than ``round_index`` (GC)."""
+        stale = [key for key in self._builders if key[3] < round_index]
+        for key in stale:
+            del self._builders[key]

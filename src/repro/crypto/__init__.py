@@ -1,0 +1,28 @@
+"""Cryptographic tools and key distribution (§2.1.5).
+
+Real hash primitives (BLAKE2) over the packet's invariant identity, an
+administratively seeded key infrastructure (pairwise secret keys and
+per-router signing keys), HMAC-style signatures, and hash chains.  The
+detection protocols need authenticity and integrity, not confidentiality
+(§2.1.5 n.2); these modules provide exactly that surface.
+"""
+
+from repro.crypto.fingerprint import (
+    fingerprint,
+    fingerprint_bytes,
+    FingerprintSampler,
+)
+from repro.crypto.keys import KeyInfrastructure
+from repro.crypto.signatures import Signed, SignatureError, canonical_bytes
+from repro.crypto.hashchain import HashChain
+
+__all__ = [
+    "fingerprint",
+    "fingerprint_bytes",
+    "FingerprintSampler",
+    "KeyInfrastructure",
+    "Signed",
+    "SignatureError",
+    "canonical_bytes",
+    "HashChain",
+]

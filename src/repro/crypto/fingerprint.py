@@ -1,0 +1,69 @@
+"""Packet fingerprints.
+
+A fingerprint is a short one-way digest of a packet that is *stable along
+the path*: it must be computed over the end-to-end invariant fields only,
+excluding TTL and header checksum which correct routers rewrite hop-by-hop
+(§7.4.2).  The paper's prototype uses UHASH; we use keyed BLAKE2b, which
+gives the same interface properties (collision resistance, keyed so that
+an adversary cannot engineer collisions against monitors).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+from repro.net.packet import Packet
+
+FINGERPRINT_BYTES = 8  # 64-bit fingerprints, as in the prototype
+
+
+def _encode_field(value) -> bytes:
+    if isinstance(value, bytes):
+        return b"b" + len(value).to_bytes(4, "big") + value
+    if isinstance(value, str):
+        raw = value.encode()
+        return b"s" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(value, bool):
+        return b"?" + bytes([value])
+    if isinstance(value, int):
+        raw = value.to_bytes(16, "big", signed=True)
+        return b"i" + raw
+    raise TypeError(f"cannot encode field of type {type(value)!r}")
+
+
+def fingerprint_bytes(packet: Packet, key: bytes = b"") -> bytes:
+    """Keyed digest of the packet's invariant identity."""
+    h = hashlib.blake2b(digest_size=FINGERPRINT_BYTES, key=key[:64])
+    for field in packet.invariant_fields():
+        h.update(_encode_field(field))
+    return h.digest()
+
+
+def fingerprint(packet: Packet, key: bytes = b"") -> int:
+    """The fingerprint as an int — convenient for sets and sampling."""
+    return int.from_bytes(fingerprint_bytes(packet, key), "big")
+
+
+class FingerprintSampler:
+    """Hash-range packet sampling (Duffield–Grossglauser trajectory style).
+
+    Both ends of a monitored path-segment agree on a secret ``key`` and a
+    ``rate``; a packet is sampled iff its keyed fingerprint falls in the
+    bottom ``rate`` fraction of the hash space.  Because the key is secret
+    from intermediate routers, a faulty router cannot limit its attack to
+    unmonitored packets (§5.2.1).  ``rate=1.0`` samples everything.
+    """
+
+    def __init__(self, rate: float = 1.0, key: bytes = b"sampling") -> None:
+        if not (0.0 < rate <= 1.0):
+            raise ValueError("sampling rate must be in (0, 1]")
+        self.rate = rate
+        self.key = key
+        self._threshold = int(rate * (1 << (8 * FINGERPRINT_BYTES)))
+
+    def sampled(self, packet: Packet) -> bool:
+        return fingerprint(packet, self.key) < self._threshold
+
+    def expected_fraction(self) -> float:
+        return self.rate

@@ -1,0 +1,55 @@
+"""Hash chains (Lamport) — the TESLA-style primitive listed in §2.1.5.
+
+A chain anchors trust in a single commitment: release values backwards
+and any receiver holding the anchor can authenticate them with repeated
+hashing.  Used by the library's delayed-authentication sampling variant
+(the "SaltProbing" idea of §3.11) and exercised by the test suite as a
+substrate invariant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+
+def _h(value: bytes) -> bytes:
+    return hashlib.sha256(value).digest()
+
+
+class HashChain:
+    """h^n(seed), released from the end toward the seed."""
+
+    def __init__(self, seed: bytes, length: int) -> None:
+        if length < 1:
+            raise ValueError("chain length must be >= 1")
+        self._values: List[bytes] = [seed]
+        for _ in range(length):
+            self._values.append(_h(self._values[-1]))
+        self._next_release = length  # index of last unreleased value
+
+    @property
+    def anchor(self) -> bytes:
+        """The public commitment h^n(seed)."""
+        return self._values[-1]
+
+    @property
+    def remaining(self) -> int:
+        return self._next_release
+
+    def release(self) -> bytes:
+        """Disclose the next value (one step closer to the seed)."""
+        if self._next_release <= 0:
+            raise RuntimeError("hash chain exhausted")
+        self._next_release -= 1
+        return self._values[self._next_release]
+
+    @staticmethod
+    def verify(value: bytes, anchor: bytes, max_steps: int) -> bool:
+        """Does hashing ``value`` at most ``max_steps`` times reach anchor?"""
+        current = value
+        for _ in range(max_steps):
+            current = _h(current)
+            if current == anchor:
+                return True
+        return False

@@ -1,0 +1,89 @@
+"""Signatures over protocol messages.
+
+Π2 disseminates traffic information via consensus on *digitally signed*
+summaries ("[x]_i indicates that x is digitally signed by i", Fig 5.1);
+Πk+2 exchanges signed summaries between segment ends; Fatih floods signed
+alerts.  We implement signature semantics with HMAC over a canonical
+serialization: a value signed by router ``i`` verifies only under ``i``'s
+key, and any mutation of the payload breaks verification.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any
+
+
+class SignatureError(Exception):
+    """A signature failed to verify."""
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministic serialization for signing.
+
+    Supports the value shapes protocol messages are built from:
+    primitives, bytes, tuples/lists, sets/frozensets (sorted), dicts
+    (key-sorted) and dataclasses (field order).
+    """
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"B1" if obj else b"B0"
+    if isinstance(obj, int):
+        return b"I" + str(obj).encode()
+    if isinstance(obj, float):
+        return b"F" + repr(obj).encode()
+    if isinstance(obj, str):
+        raw = obj.encode()
+        return b"S" + str(len(raw)).encode() + b":" + raw
+    if isinstance(obj, bytes):
+        return b"Y" + str(len(obj)).encode() + b":" + obj
+    if isinstance(obj, (tuple, list)):
+        inner = b"".join(canonical_bytes(x) for x in obj)
+        return b"L(" + inner + b")"
+    if isinstance(obj, (set, frozenset)):
+        parts = sorted(canonical_bytes(x) for x in obj)
+        return b"E(" + b"".join(parts) + b")"
+    if isinstance(obj, dict):
+        parts = []
+        for key in sorted(obj, key=lambda k: canonical_bytes(k)):
+            parts.append(canonical_bytes(key) + b"=" + canonical_bytes(obj[key]))
+        return b"D(" + b"".join(parts) + b")"
+    if isinstance(obj, enum.Enum):
+        return b"M" + canonical_bytes(type(obj).__name__) + canonical_bytes(obj.name)
+    if is_dataclass(obj) and not isinstance(obj, type):
+        parts = [canonical_bytes(type(obj).__name__)]
+        for f in fields(obj):
+            parts.append(canonical_bytes(getattr(obj, f.name)))
+        return b"C(" + b"".join(parts) + b")"
+    raise TypeError(f"cannot canonicalize {type(obj)!r} for signing")
+
+
+def _mac(key: bytes, payload: Any) -> bytes:
+    return hmac.new(key, canonical_bytes(payload), hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class Signed:
+    """An immutable signed envelope: ``[payload]_signer``."""
+
+    payload: Any
+    signer: str
+    mac: bytes
+
+    @classmethod
+    def sign(cls, payload: Any, signer: str, signing_key: bytes) -> "Signed":
+        return cls(payload=payload, signer=signer,
+                   mac=_mac(signing_key, (signer, payload)))
+
+    def verify(self, signing_key: bytes) -> bool:
+        expected = _mac(signing_key, (self.signer, self.payload))
+        return hmac.compare_digest(expected, self.mac)
+
+    def verify_or_raise(self, signing_key: bytes) -> Any:
+        if not self.verify(signing_key):
+            raise SignatureError(f"bad signature claimed by {self.signer!r}")
+        return self.payload

@@ -1,0 +1,35 @@
+"""Distributed-systems substrate.
+
+* :mod:`repro.dist.sync` — bounded-skew clocks and the agreed measurement
+  rounds every protocol synchronizes on (§2.1.2).
+* :mod:`repro.dist.broadcast` — Perlman-style robust flooding (§3.7).
+* :mod:`repro.dist.consensus` — signed-messages Byzantine agreement used
+  by Π2 to disseminate traffic summaries (Fig 5.1).
+* :mod:`repro.dist.reconcile` — Appendix A's set reconciliation
+  (characteristic polynomials over GF(p)) plus the Bloom-filter
+  difference estimator of §2.4.1.
+"""
+
+from repro.dist.sync import ClockModel, RoundSchedule
+from repro.dist.broadcast import FloodResult, robust_flood
+from repro.dist.consensus import SignedConsensus, ConsensusResult, Equivocator
+from repro.dist.reconcile import (
+    CharacteristicPolynomialSet,
+    reconcile,
+    BloomFilter,
+    bloom_difference_estimate,
+)
+
+__all__ = [
+    "ClockModel",
+    "RoundSchedule",
+    "FloodResult",
+    "robust_flood",
+    "SignedConsensus",
+    "ConsensusResult",
+    "Equivocator",
+    "CharacteristicPolynomialSet",
+    "reconcile",
+    "BloomFilter",
+    "bloom_difference_estimate",
+]

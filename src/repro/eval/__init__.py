@@ -1,0 +1,23 @@
+"""Evaluation harness: metrics, canned scenarios, per-figure experiments.
+
+Every table/figure of the paper's evaluation maps to one function in
+:mod:`repro.eval.experiments`; benches, tests and examples all call the
+same functions so results are consistent everywhere.
+"""
+
+from repro.eval.metrics import DetectionMetrics, score_round_findings
+from repro.eval.scenarios import (
+    DropTailScenario,
+    REDScenario,
+    build_droptail_scenario,
+    build_red_scenario,
+)
+
+__all__ = [
+    "DetectionMetrics",
+    "score_round_findings",
+    "DropTailScenario",
+    "REDScenario",
+    "build_droptail_scenario",
+    "build_red_scenario",
+]

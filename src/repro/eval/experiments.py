@@ -1,0 +1,801 @@
+"""One function per paper table/figure.
+
+Benches (``benchmarks/``), tests and examples all call these; each
+returns a small result object with the series the paper plots, so the
+bench output can be read against the original figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.pathmodel import FaultyNode, PathModel
+from repro.baselines.perlman import perlman_per_hop_acks, perlman_route_setup
+from repro.baselines.sectrace import secure_traceroute
+from repro.baselines.awerbuch import awerbuch_binary_search
+from repro.baselines.watchers import (
+    WatchersFault,
+    WatchersFlow,
+    WatchersProtocol,
+)
+from repro.core.chi import ChiConfig, single_loss_confidence
+from repro.core.fatih import FatihConfig, FatihSystem, RTTMonitor
+from repro.core.qmodel import appenzeller_loss_probability, appenzeller_sigma
+from repro.core.segments import (
+    all_routing_paths,
+    monitored_segments_pi2,
+    monitored_segments_pik2,
+    pik2_counter_count,
+    pr_statistics,
+    watchers_counter_count,
+)
+from repro.core.static_threshold import StaticThresholdDetector
+from repro.eval.metrics import DetectionMetrics, score_round_findings
+from repro.eval.scenarios import (
+    DropTailScenario,
+    REDScenario,
+    build_droptail_scenario,
+    build_red_scenario,
+)
+from repro.net.adversary import (
+    DropFlowAttack,
+    QueueConditionalDropAttack,
+    REDAverageConditionalDropAttack,
+    SynDropAttack,
+)
+from repro.net.routing import LinkStateRouting
+from repro.net.router import Network
+from repro.net.topology import MBPS, Topology, abilene, chain, ebone_like, sprintlink_like
+from repro.net.traffic import CBRSource
+
+
+def _topology(name: str) -> Topology:
+    if name == "sprintlink":
+        return sprintlink_like()
+    if name == "ebone":
+        return ebone_like()
+    if name == "abilene":
+        return abilene()
+    raise ValueError(f"unknown topology {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Figures 5.2 / 5.4 — |P_r| vs k
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PrCurve:
+    topology: str
+    protocol: str  # "pi2" | "pik2"
+    series: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    def rows(self) -> List[Tuple[int, float, float, float]]:
+        return [(k, s["max"], s["mean"], s["median"])
+                for k, s in sorted(self.series.items())]
+
+
+def fig5_2_pr_pi2(topology: str = "sprintlink",
+                  ks: Sequence[int] = range(1, 9)) -> PrCurve:
+    """Fig 5.2: segments monitored per router under Π2."""
+    topo = _topology(topology)
+    paths = all_routing_paths(topo)
+    curve = PrCurve(topology=topology, protocol="pi2")
+    for k in ks:
+        by_router = monitored_segments_pi2(paths, k)
+        curve.series[k] = pr_statistics(by_router, topo.routers)
+    return curve
+
+
+def fig5_4_pr_pik2(topology: str = "sprintlink",
+                   ks: Sequence[int] = range(1, 9)) -> PrCurve:
+    """Fig 5.4: segments monitored per router under Πk+2."""
+    topo = _topology(topology)
+    paths = all_routing_paths(topo)
+    curve = PrCurve(topology=topology, protocol="pik2")
+    for k in ks:
+        by_router = monitored_segments_pik2(paths, k)
+        curve.series[k] = pr_statistics(by_router, topo.routers)
+    return curve
+
+
+@dataclass
+class StateOverheadResult:
+    topology: str
+    watchers_mean: float
+    watchers_max: float
+    pik2_counters: Dict[int, Dict[str, float]]  # k -> mean/max counters
+
+    def rows(self) -> List[str]:
+        out = [f"WATCHERS: mean {self.watchers_mean:.0f} max {self.watchers_max:.0f}"]
+        for k, stats in sorted(self.pik2_counters.items()):
+            out.append(
+                f"Πk+2 AdjacentFault({k}): mean {stats['mean']:.0f} "
+                f"max {stats['max']:.0f}"
+            )
+        return out
+
+
+def state_overhead(topology: str = "sprintlink",
+                   ks: Sequence[int] = (2, 7)) -> StateOverheadResult:
+    """§5.1.1/§5.2.1: per-router counter state, WATCHERS vs Πk+2."""
+    topo = _topology(topology)
+    paths = all_routing_paths(topo)
+    watchers = watchers_counter_count(topo)
+    values = list(watchers.values())
+    pik2: Dict[int, Dict[str, float]] = {}
+    for k in ks:
+        by_router = monitored_segments_pik2(paths, k)
+        counts = pik2_counter_count(by_router, topo)
+        counter_values = list(counts.values())
+        pik2[k] = {
+            "mean": sum(counter_values) / len(counter_values),
+            "max": float(max(counter_values)),
+        }
+    return StateOverheadResult(
+        topology=topology,
+        watchers_mean=sum(values) / len(values),
+        watchers_max=float(max(values)),
+        pik2_counters=pik2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 5.7 — Fatih in progress
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FatihTimelineResult:
+    convergence_time: Optional[float]
+    attack_time: float
+    first_detection: Optional[float]
+    reroute_time: Optional[float]
+    rtt_before: Optional[float]
+    rtt_after: Optional[float]
+    suspected_segments: List[Tuple[str, ...]]
+    probes_lost: int
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        if self.first_detection is None:
+            return None
+        return self.first_detection - self.attack_time
+
+    @property
+    def response_latency(self) -> Optional[float]:
+        if self.reroute_time is None:
+            return None
+        return self.reroute_time - self.attack_time
+
+
+def fig5_7_fatih(
+    attack_time: float = 117.0,
+    attack_fraction: float = 0.2,
+    end_time: float = 220.0,
+    monitor_start: float = 60.0,
+) -> FatihTimelineResult:
+    """Fig 5.7: OSPF convergence, attack at Kansas City, detection,
+    alert flooding, SPF delay+hold, rerouting; New York <-> Sunnyvale RTT
+    goes from ~50 ms to ~56 ms."""
+    from repro.net.adversary import DropFractionAttack
+
+    topo = abilene(bandwidth=10 * MBPS)
+    net = Network(topo, proc_jitter=0.0002)
+    routing = LinkStateRouting(net, spf_delay=5.0, spf_hold=10.0,
+                               hello_interval=10.0, boot_spread=30.0)
+    routing.start()
+    fatih = FatihSystem(net, routing,
+                        config=FatihConfig(tau=5.0, threshold=2))
+    fatih.start_monitoring(at=monitor_start, until=end_time)
+
+    # Background load crossing Kansas City (and elsewhere).
+    flows = [
+        ("Sunnyvale", "NewYork"), ("NewYork", "Sunnyvale"),
+        ("LosAngeles", "Chicago"), ("Seattle", "WashingtonDC"),
+        ("Denver", "Indianapolis"), ("Houston", "Chicago"),
+        ("Atlanta", "Seattle"),
+    ]
+    sources = []
+    for i, (src, dst) in enumerate(flows):
+        sources.append(CBRSource(net, src, dst, f"bg{i}",
+                                 rate_bps=80_000, start=58.0 + 0.01 * i))
+    rtt = RTTMonitor(net, "NewYork", "Sunnyvale", interval=1.0, start=60.0,
+                     stop=end_time - 5)
+
+    net.run(attack_time)
+    attack = DropFractionAttack(attack_fraction, seed=11)
+    net.routers["KansasCity"].compromise = attack
+    net.run(end_time)
+
+    detection = fatih.first_detection_time()
+    reroute = None
+    for when, _name in routing.spf_runs:
+        if detection is not None and when > detection:
+            reroute = when
+            break
+    return FatihTimelineResult(
+        convergence_time=routing.convergence_time(),
+        attack_time=attack_time,
+        first_detection=detection,
+        reroute_time=reroute,
+        rtt_before=rtt.mean_rtt(monitor_start + 5, attack_time),
+        rtt_after=rtt.mean_rtt((reroute or end_time) + 5, end_time),
+        suspected_segments=sorted(fatih.suspected_segments()),
+        probes_lost=rtt.lost,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 6.2 — single-loss confidence curve
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ConfidenceCurve:
+    q_limit: float
+    mu: float
+    sigma: float
+    points: List[Tuple[float, float]]  # (q_pred, confidence)
+
+
+def fig6_2_confidence_curve(q_limit: float = 30_000.0,
+                            packet_size: float = 1_000.0,
+                            mu: float = 0.0, sigma: float = 1_000.0,
+                            steps: int = 60) -> ConfidenceCurve:
+    """Fig 6.2: c_single as the predicted queue approaches the limit."""
+    points = []
+    for i in range(steps + 1):
+        q_pred = q_limit * i / steps
+        conf = single_loss_confidence(q_limit, q_pred, packet_size, mu, sigma)
+        points.append((q_pred, conf))
+    return ConfidenceCurve(q_limit, mu, sigma, points)
+
+
+# ---------------------------------------------------------------------------
+# Droptail scenarios — Figs 6.3, 6.5-6.9 + χ vs static threshold
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScenarioResult:
+    name: str
+    metrics: DetectionMetrics
+    total_drops: int
+    congestive_drops: int
+    malicious_drops_truth: int
+    candidate_drops: int
+    rounds: List[Tuple[int, int, int, float, bool]] = field(default_factory=list)
+    # rows: (round, drops, candidates, max confidence, alarmed)
+    malicious_by_round: Dict[int, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def detected(self) -> bool:
+        return self.metrics.detected
+
+    @property
+    def false_positives(self) -> int:
+        return self.metrics.false_positive_rounds
+
+
+def _run_droptail(name: str, attack_factory, *,
+                  learning_until: float = 20.0,
+                  monitor_rounds: Tuple[int, int] = (10, 44),
+                  attack_at: float = 50.0,
+                  end: float = 110.0,
+                  with_connector: bool = False,
+                  tau: float = 2.0,
+                  seed: int = 0) -> ScenarioResult:
+    scenario = build_droptail_scenario(tau=tau, seed=seed,
+                                       with_connector=with_connector)
+    net = scenario.network
+    chi = scenario.chi
+    net.run(learning_until)
+    chi.calibrate(scenario.target)
+    chi.schedule_rounds(*monitor_rounds)
+    net.run(attack_at)
+    attack = None
+    if attack_factory is not None:
+        attack = attack_factory(scenario)
+        net.routers["r"].compromise = attack
+    net.run(end)
+    attack_first = (int(attack_at / tau) if attack_factory is not None
+                    else None)
+    metrics = score_round_findings(chi.findings, attack_first)
+    rounds = [(f.round_index, len(f.drops), f.candidate_drops,
+               f.max_single_confidence, f.alarmed) for f in chi.findings]
+    by_round: Dict[int, int] = {}
+    if attack is not None:
+        for when in attack.drop_times:
+            by_round[int(when / tau)] = by_round.get(int(when / tau), 0) + 1
+    result = ScenarioResult(
+        name=name,
+        metrics=metrics,
+        total_drops=sum(len(f.drops) for f in chi.findings),
+        congestive_drops=sum(f.congestive_drops for f in chi.findings),
+        malicious_drops_truth=(len(attack.dropped) if attack else 0),
+        candidate_drops=sum(f.candidate_drops for f in chi.findings),
+        rounds=rounds,
+        malicious_by_round=by_round,
+    )
+    if scenario.connector is not None:
+        result.extra["syn_retries"] = float(scenario.connector.syn_retry_count())
+        setup = scenario.connector.setup_times()
+        if setup:
+            result.extra["mean_setup_time"] = sum(setup) / len(setup)
+    # Attack damage, the paper's motivation: victim vs bystander goodput.
+    victim = scenario.flows.get("tcp1")
+    bystanders = [f for fid, f in scenario.flows.items() if fid != "tcp1"]
+    if victim is not None:
+        result.extra["victim_goodput_pps"] = victim.goodput_pps()
+    if bystanders:
+        result.extra["bystander_goodput_pps"] = (
+            sum(f.goodput_pps() for f in bystanders) / len(bystanders))
+    return result
+
+
+def fig6_5_no_attack(seed: int = 0) -> ScenarioResult:
+    """Fig 6.5: pure congestion — χ must stay silent."""
+    return _run_droptail("no-attack", None, seed=seed)
+
+
+def fig6_6_attack1(seed: int = 0) -> ScenarioResult:
+    """Fig 6.6: drop 20% of the selected flow."""
+    return _run_droptail(
+        "attack1-drop20pct",
+        lambda s: DropFlowAttack(["tcp1"], fraction=0.2, seed=seed + 1),
+        seed=seed,
+    )
+
+
+def fig6_7_attack2(seed: int = 0) -> ScenarioResult:
+    """Fig 6.7: drop the selected flow only when the queue is 90% full."""
+    return _run_droptail(
+        "attack2-queue90",
+        lambda s: QueueConditionalDropAttack(["tcp1"], fill_threshold=0.90,
+                                             seed=seed + 1),
+        seed=seed,
+    )
+
+
+def fig6_8_attack3(seed: int = 0) -> ScenarioResult:
+    """Fig 6.8: drop the selected flow only when the queue is 95% full."""
+    return _run_droptail(
+        "attack3-queue95",
+        lambda s: QueueConditionalDropAttack(["tcp1"], fill_threshold=0.95,
+                                             seed=seed + 1),
+        seed=seed,
+    )
+
+
+def fig6_9_attack4(seed: int = 0) -> ScenarioResult:
+    """Fig 6.9: SYN-drop a host trying to open connections."""
+    return _run_droptail(
+        "attack4-syn",
+        lambda s: SynDropAttack("vsink", seed=seed + 1),
+        with_connector=True,
+        seed=seed,
+    )
+
+
+@dataclass
+class NsSimPoint:
+    drop_rate: float
+    detected: bool
+    detection_latency_rounds: Optional[int]
+    false_positive_rounds: int
+    malicious_drops: int
+
+
+def fig6_3_ns_simulation(
+    rates: Sequence[float] = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5),
+    seed: int = 0,
+) -> List[NsSimPoint]:
+    """Fig 6.3: χ detection across attack intensities (NS-style sweep)."""
+    points = []
+    for rate in rates:
+        factory = (None if rate == 0.0 else
+                   (lambda s, r=rate: DropFlowAttack(["tcp1"], fraction=r,
+                                                     seed=seed + 7)))
+        result = _run_droptail(f"ns-{rate}", factory, seed=seed)
+        points.append(NsSimPoint(
+            drop_rate=rate,
+            detected=result.detected,
+            detection_latency_rounds=result.metrics.detection_latency_rounds,
+            false_positive_rounds=result.metrics.false_positive_rounds,
+            malicious_drops=result.malicious_drops_truth,
+        ))
+    return points
+
+
+@dataclass
+class ThresholdComparison:
+    """§6.4.3: χ vs static thresholds on the same pair of traces.
+
+    The paper's argument is quantified two ways: a threshold low enough
+    to catch anything false-positives on the pure-congestion trace, and
+    any threshold grants the attacker all the drops it lands in rounds
+    whose total stays at or below it (``static_free_drops``) — χ grants
+    none while raising no false alarm.
+    """
+
+    thresholds: List[int]
+    static_fp_rounds: Dict[int, int]  # benign-trace alarms per threshold
+    static_detected: Dict[int, bool]  # subtle-attack trace detection
+    static_free_drops: Dict[int, int]  # malicious drops below the radar
+    chi_fp_rounds: int
+    chi_detected: bool
+    total_malicious_drops: int
+    benign_max_losses: int
+    attack_mean_losses: float
+
+    def unsound_thresholds(self) -> List[int]:
+        """Thresholds that false-positive, miss, or grant free drops."""
+        return [t for t in self.thresholds
+                if self.static_fp_rounds[t] > 0
+                or not self.static_detected[t]
+                or self.static_free_drops[t] > 0]
+
+
+def chi_vs_static_threshold(
+    thresholds: Sequence[int] = (1, 2, 5, 10, 15, 20, 30, 50),
+    seed: int = 0,
+) -> ThresholdComparison:
+    """Run a congestion-only trace and a subtle-attack trace; score both
+    χ and per-round static loss thresholds on each."""
+    attack_at, tau = 50.0, 2.0
+    first_attack_round = int(attack_at / tau)
+    benign = _run_droptail("benign", None, seed=seed,
+                           attack_at=attack_at, tau=tau)
+    attack = _run_droptail(
+        "subtle",
+        lambda s: QueueConditionalDropAttack(["tcp1"], fill_threshold=0.90,
+                                             seed=seed + 1),
+        seed=seed, attack_at=attack_at, tau=tau,
+    )
+    benign_losses = [drops for (_r, drops, _c, _conf, _a) in benign.rounds]
+    attack_losses = {r: drops for (r, drops, _c, _conf, _a) in attack.rounds}
+    attack_round_losses = [d for r, d in attack_losses.items()
+                           if r >= first_attack_round]
+    static_fp: Dict[int, int] = {}
+    static_det: Dict[int, bool] = {}
+    static_free: Dict[int, int] = {}
+    for t in thresholds:
+        static_fp[t] = sum(1 for losses in benign_losses if losses > t)
+        static_det[t] = any(d > t for d in attack_round_losses)
+        static_free[t] = sum(
+            attack.malicious_by_round.get(r, 0)
+            for r, total in attack_losses.items()
+            if r >= first_attack_round and total <= t
+        )
+    return ThresholdComparison(
+        thresholds=list(thresholds),
+        static_fp_rounds=static_fp,
+        static_detected=static_det,
+        static_free_drops=static_free,
+        chi_fp_rounds=(benign.false_positives
+                       + attack.metrics.false_positive_rounds),
+        chi_detected=attack.detected,
+        total_malicious_drops=attack.malicious_drops_truth,
+        benign_max_losses=max(benign_losses) if benign_losses else 0,
+        attack_mean_losses=(sum(attack_round_losses) / len(attack_round_losses)
+                            if attack_round_losses else 0.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# RED scenarios — Figs 6.11-6.16
+# ---------------------------------------------------------------------------
+
+def _run_red(name: str, attack_factory, *,
+             monitor_rounds: Tuple[int, int] = (1, 59),
+             attack_at: float = 50.0,
+             end: float = 300.0,
+             with_connector: bool = False,
+             tau: float = 5.0,
+             n_sources: int = 8,
+             seed: int = 0) -> ScenarioResult:
+    scenario = build_red_scenario(tau=tau, seed=seed, n_sources=n_sources,
+                                  with_connector=with_connector)
+    net = scenario.network
+    chi = scenario.chi
+    chi.schedule_rounds(*monitor_rounds)
+    net.run(attack_at)
+    attack = None
+    if attack_factory is not None:
+        attack = attack_factory(scenario)
+        net.routers["r"].compromise = attack
+    net.run(end)
+    attack_first = (int(attack_at / tau) if attack_factory is not None
+                    else None)
+    metrics = score_round_findings(chi.findings, attack_first)
+    rounds = [(f.round_index, len(f.drops), f.candidate_drops,
+               f.combined_confidence, f.alarmed) for f in chi.findings]
+    by_round: Dict[int, int] = {}
+    if attack is not None:
+        for when in attack.drop_times:
+            by_round[int(when / tau)] = by_round.get(int(when / tau), 0) + 1
+    result = ScenarioResult(
+        name=name,
+        metrics=metrics,
+        total_drops=sum(len(f.drops) for f in chi.findings),
+        congestive_drops=sum(f.congestive_drops for f in chi.findings),
+        malicious_drops_truth=(len(attack.dropped) if attack else 0),
+        candidate_drops=sum(f.candidate_drops for f in chi.findings),
+        rounds=rounds,
+        malicious_by_round=by_round,
+    )
+    if scenario.connector is not None:
+        result.extra["syn_retries"] = float(scenario.connector.syn_retry_count())
+    return result
+
+
+def fig6_11_red_no_attack(seed: int = 0) -> ScenarioResult:
+    """Fig 6.11: RED losses only — χ must stay silent."""
+    return _run_red("red-no-attack", None, seed=seed)
+
+
+def fig6_12_red_attack1(seed: int = 0) -> ScenarioResult:
+    """Fig 6.12: drop the selected flows when avg queue > 45,000 bytes."""
+    return _run_red(
+        "red-attack1-45k",
+        lambda s: REDAverageConditionalDropAttack(["tcp1", "tcp2"],
+                                                  avg_threshold=45_000,
+                                                  seed=seed + 1),
+        seed=seed,
+    )
+
+
+def fig6_13_red_attack2(seed: int = 0) -> ScenarioResult:
+    """Fig 6.13: drop the selected flows when avg queue > 54,000 bytes."""
+    return _run_red(
+        "red-attack2-54k",
+        lambda s: REDAverageConditionalDropAttack(["tcp1", "tcp2"],
+                                                  avg_threshold=54_000,
+                                                  seed=seed + 1),
+        n_sources=12, end=600.0, monitor_rounds=(1, 119),
+        seed=seed,
+    )
+
+
+def fig6_14_red_attack3(seed: int = 0) -> ScenarioResult:
+    """Fig 6.14: drop 10% of the selected flows above 45,000 bytes."""
+    return _run_red(
+        "red-attack3-10pct",
+        lambda s: REDAverageConditionalDropAttack(["tcp1", "tcp2"],
+                                                  avg_threshold=45_000,
+                                                  fraction=0.10,
+                                                  seed=seed + 1),
+        end=500.0, monitor_rounds=(1, 99),
+        seed=seed,
+    )
+
+
+def fig6_15_red_attack4(seed: int = 0) -> ScenarioResult:
+    """Fig 6.15: drop 5% of the selected flows above 45,000 bytes."""
+    return _run_red(
+        "red-attack4-5pct",
+        lambda s: REDAverageConditionalDropAttack(["tcp1", "tcp2"],
+                                                  avg_threshold=45_000,
+                                                  fraction=0.05,
+                                                  seed=seed + 1),
+        end=700.0, monitor_rounds=(1, 139),
+        seed=seed,
+    )
+
+
+def fig6_16_red_attack5(seed: int = 0) -> ScenarioResult:
+    """Fig 6.16: SYN-drop a host behind the RED bottleneck."""
+    return _run_red(
+        "red-attack5-syn",
+        lambda s: SynDropAttack("vsink", seed=seed + 1),
+        with_connector=True,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline demonstrations (Ch. 3 figures)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BaselineDemo:
+    name: str
+    description: str
+    values: Dict[str, object] = field(default_factory=dict)
+
+
+def watchers_flaw_demo() -> BaselineDemo:
+    """Fig 3.3: consorting routers evade WATCHERS; the fix catches them."""
+    topo = chain(5)
+    flows = [WatchersFlow(("r1", "r2", "r3", "r4", "r5"), 10_000.0)]
+
+    def inflate(claims):
+        return {key: (value * 2 if key[1] == "r3" and key[2] == "r4"
+                      else value)
+                for key, value in claims.items()}
+
+    consorting = {
+        "r3": WatchersFault(drop_fraction=lambda f: 0.5, misreport=inflate),
+        "r4": WatchersFault(),
+    }
+    plain = WatchersProtocol(topo, flows, consorting).run_round()
+    fixed = WatchersProtocol(topo, flows, consorting, improved=True).run_round()
+    return BaselineDemo(
+        name="watchers-consorting",
+        description="consorting c,d evade original WATCHERS; fix detects",
+        values={
+            "original_detections": sorted(plain.detected_links()),
+            "original_detects_attacker": plain.detects_router("r3"),
+            "fixed_detections": sorted(fixed.detected_links()),
+            "fixed_detects_attacker": fixed.detects_router("r3"),
+        },
+    )
+
+
+def perlman_collusion_demo() -> BaselineDemo:
+    """Fig 3.8: colluding b, e frame the correct link ⟨c, d⟩ in PERLMANd."""
+    path = ["a", "b", "c", "d", "e", "f"]
+    faulty = {
+        # e drops the data packet so it never reaches f.
+        "e": FaultyNode(drop_data=lambda r, p: True),
+        # b suppresses acks from routers beyond c.
+        "b": FaultyNode(drop_protocol=lambda r, origin, kind:
+                        origin in ("d", "e", "f")),
+    }
+    model = PathModel(path, faulty)
+    outcome = perlman_per_hop_acks(model)
+    robust = perlman_route_setup(model)
+    return BaselineDemo(
+        name="perlman-collusion",
+        description="PERLMANd frames ⟨c,d⟩; route-setup variant suspects "
+                    "the whole path (low precision, but accurate)",
+        values={
+            "perlmand_suspected": outcome.suspected,
+            "perlmand_framed_correct_link": outcome.framing,
+            "route_setup_suspected": robust.suspected,
+        },
+    )
+
+
+def sectrace_framing_demo() -> BaselineDemo:
+    """Fig 3.7: b attacks only after being validated, framing ⟨c, d⟩."""
+    path = ["a", "b", "c", "d", "e"]
+    faulty = {
+        # b is validated in round 1 (its own validation round) and begins
+        # dropping afterwards — the framing scenario of §3.6.
+        "b": FaultyNode(drop_data=lambda r, p: True, active_from_round=3),
+    }
+    outcome = secure_traceroute(PathModel(path, faulty))
+    return BaselineDemo(
+        name="sectrace-framing",
+        description="late-activating b makes SecTrace blame ⟨c,d⟩",
+        values={
+            "detected": outcome.detected_link,
+            "framed_correct_link": outcome.framing,
+            "rounds": outcome.rounds,
+        },
+    )
+
+
+def awerbuch_localization_demo(path_length: int = 9) -> BaselineDemo:
+    """§3.5: binary search localizes a persistent dropper in log M rounds."""
+    path = [f"n{i}" for i in range(path_length)]
+    bad = path[path_length // 2 + 1]
+    model = PathModel(path, {bad: FaultyNode(drop_data=lambda r, p: True)})
+    outcome = awerbuch_binary_search(model)
+    return BaselineDemo(
+        name="awerbuch-binary-search",
+        description="adaptive probing pins the dropper's link",
+        values={
+            "detected": outcome.detected_link,
+            "rounds": outcome.rounds,
+            "log2_bound": math.ceil(math.log2(path_length)),
+            "contains_attacker": (outcome.detected_link is not None
+                                  and bad in outcome.detected_link),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# §6.1.2 — why traffic modeling is not enough
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ModelingComparison:
+    predicted_loss_prob: float
+    observed_loss_rate: float
+    relative_error: float
+
+
+def traffic_modeling_comparison(seed: int = 0) -> ModelingComparison:
+    """Compare Appenzeller-model loss predictions with simulated reality.
+
+    The paper verified Q's normality but found (µ, σ) predictions too
+    rough for detection; this experiment quantifies the gap on our
+    testbed."""
+    scenario = build_droptail_scenario(n_sources=3, seed=seed)
+    net = scenario.network
+    net.run(120.0)
+    queue = scenario.bottleneck_queue
+    offered = queue.enqueues + queue.drops
+    observed = queue.drops / offered if offered else 0.0
+    capacity_pps = (1.0 * MBPS) / 1000.0
+    sigma = appenzeller_sigma(propagation_delay=0.009,
+                              capacity_pps=capacity_pps,
+                              buffer_packets=30.0, n_flows=3)
+    predicted = appenzeller_loss_probability(30.0, sigma)
+    rel = (abs(predicted - observed) / observed) if observed else float("inf")
+    return ModelingComparison(predicted_loss_prob=predicted,
+                              observed_loss_rate=observed,
+                              relative_error=rel)
+
+
+# ---------------------------------------------------------------------------
+# §2.4.3 — response strategy ablation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ResponseImpact:
+    strategy: str  # "segment" | "router"
+    unreachable_pairs: int
+    mean_stretch: float  # constrained/unconstrained shortest-path cost
+    max_stretch: float
+
+
+def response_strategy_ablation(
+    topology_name: str = "abilene",
+    suspicions: Sequence[Tuple[str, ...]] = (
+        ("Denver", "KansasCity", "Indianapolis"),
+        ("Houston", "KansasCity", "Indianapolis"),
+        ("Denver", "KansasCity", "Houston"),
+    ),
+) -> Dict[str, ResponseImpact]:
+    """Compare the paper's two countermeasures (§2.4.3).
+
+    * **segment** — remove only the suspected path-segments from the
+      routing fabric (the paper's choice: "less disruptive").
+    * **router** — remove every suspected router entirely.
+
+    Returns per-strategy reachability and path-stretch impact.
+    """
+    from repro.net.routing import compute_all_paths, shortest_path_avoiding
+
+    topo = _topology(topology_name)
+    base = compute_all_paths(topo)
+
+    def cost(path) -> float:
+        return sum(topo.link(a, b).metric for a, b in zip(path, path[1:]))
+
+    results: Dict[str, ResponseImpact] = {}
+    for strategy in ("segment", "router"):
+        if strategy == "segment":
+            constraints = list(suspicions)
+        else:
+            bad_routers = sorted({r for seg in suspicions for r in seg[1:-1]}
+                                 or {r for seg in suspicions for r in seg})
+            # Removing a router = excluding every link incident to it.
+            constraints = []
+            for r in bad_routers:
+                for nbr in topo.neighbors(r):
+                    constraints.append((r, nbr))
+                    constraints.append((nbr, r))
+        unreachable = 0
+        stretches: List[float] = []
+        for (src, dst), path in base.items():
+            if strategy == "router" and (
+                    src in {r for c in constraints for r in c}
+                    and topo.degree(src) == 0):
+                continue
+            constrained = shortest_path_avoiding(topo, src, dst, constraints)
+            if constrained is None:
+                unreachable += 1
+                continue
+            stretches.append(cost(constrained) / max(cost(path), 1e-12))
+        results[strategy] = ResponseImpact(
+            strategy=strategy,
+            unreachable_pairs=unreachable,
+            mean_stretch=(sum(stretches) / len(stretches)
+                          if stretches else float("inf")),
+            max_stretch=max(stretches) if stretches else float("inf"),
+        )
+    return results

@@ -1,0 +1,214 @@
+"""Canned experiment scenarios (Fig 6.4's "simple topology" and friends).
+
+The emulation chapter's testbed: several source routers feeding one
+router ``r`` whose output link to ``rd`` is the bottleneck; TCP flows
+from the sources congest the bottleneck queue; a victim flow (or a victim
+destination's SYNs) is what the compromised ``r`` attacks.
+
+Two builders return ready-to-run bundles:
+
+* :func:`build_droptail_scenario` — droptail bottleneck, Figs 6.5-6.9;
+* :func:`build_red_scenario` — RED bottleneck, Figs 6.11-6.16, calibrated
+  so the average queue regularly crosses the paper's literal 45,000- and
+  54,000-byte attack thresholds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.chi import ChiConfig, ProtocolChi
+from repro.core.summaries import PathOracle
+from repro.dist.sync import RoundSchedule
+from repro.net.packet import Packet, PacketKind
+from repro.net.queues import DropTailQueue, REDParams, REDQueue
+from repro.net.router import Network
+from repro.net.routing import install_static_routes
+from repro.net.tcp import TCPFlow
+from repro.net.topology import MBPS, Topology
+
+
+class RepeatedConnector:
+    """A host that keeps opening short TCP connections to a victim server.
+
+    The workload of Fig 6.9 / 6.16: SYN loss hurts disproportionately
+    because the initial retransmission timeout is 3 s.  Each connection
+    transfers a few segments then the next one starts.
+    """
+
+    def __init__(self, network: Network, src: str, dst: str,
+                 label: str = "victim", packets_per_conn: int = 20,
+                 spacing: float = 1.0, start: float = 0.0,
+                 stop: Optional[float] = None) -> None:
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.label = label
+        self.packets_per_conn = packets_per_conn
+        self.spacing = spacing
+        self.stop = stop
+        self.connections: List[TCPFlow] = []
+        network.sim.schedule_at(start, self._open_next)
+
+    def _open_next(self) -> None:
+        now = self.network.sim.now
+        if self.stop is not None and now >= self.stop:
+            return
+        index = len(self.connections)
+        flow = TCPFlow(
+            self.network, self.src, self.dst,
+            flow_id=f"{self.label}-conn{index}",
+            total_packets=self.packets_per_conn, start=now,
+        )
+        self.connections.append(flow)
+        self.network.sim.schedule(self.spacing, self._check_done, flow)
+
+    def _check_done(self, flow: TCPFlow) -> None:
+        if flow.done:
+            self._open_next()
+            return
+        self.network.sim.schedule(self.spacing, self._check_done, flow)
+
+    def setup_times(self) -> List[float]:
+        return [f.connection_setup_time() for f in self.connections
+                if f.connection_setup_time() is not None]
+
+    def syn_retry_count(self) -> int:
+        return sum(f.syn_retries for f in self.connections)
+
+
+@dataclass
+class DropTailScenario:
+    network: Network
+    chi: ProtocolChi
+    schedule: RoundSchedule
+    oracle: PathOracle
+    flows: Dict[str, TCPFlow]
+    target: Tuple[str, str]
+    connector: Optional[RepeatedConnector] = None
+
+    @property
+    def bottleneck_queue(self):
+        router, downstream = self.target
+        return self.network.routers[router].interfaces[downstream].queue
+
+
+@dataclass
+class REDScenario:
+    network: Network
+    chi: ProtocolChi
+    schedule: RoundSchedule
+    oracle: PathOracle
+    flows: Dict[str, TCPFlow]
+    target: Tuple[str, str]
+    red_params: REDParams
+    connector: Optional[RepeatedConnector] = None
+
+    @property
+    def bottleneck_queue(self):
+        router, downstream = self.target
+        return self.network.routers[router].interfaces[downstream].queue
+
+
+def _simple_topology(n_sources: int, bottleneck_bw: float,
+                     queue_limit: int, with_victim_sink: bool) -> Topology:
+    topo = Topology("fig6.4-simple")
+    for i in range(n_sources):
+        topo.add_link(f"s{i}", "r", bandwidth=80 * MBPS, delay=0.002)
+    topo.add_link("r", "rd", bandwidth=bottleneck_bw, delay=0.005,
+                  queue_limit=queue_limit)
+    topo.add_link("rd", "sink", bandwidth=80 * MBPS, delay=0.002)
+    if with_victim_sink:
+        topo.add_link("rd", "vsink", bandwidth=80 * MBPS, delay=0.002)
+    return topo
+
+
+def build_droptail_scenario(
+    n_sources: int = 3,
+    bottleneck_bw: float = 1.0 * MBPS,
+    queue_limit: int = 60_000,
+    tau: float = 2.0,
+    proc_jitter: float = 0.0004,
+    with_connector: bool = False,
+    chi_config: Optional[ChiConfig] = None,
+    seed: int = 0,
+) -> DropTailScenario:
+    """The droptail testbed of Figs 6.5-6.9.
+
+    One long-lived TCP flow per source router toward ``sink``; the flow
+    from ``s1`` is the conventional attack victim ("selected flow").
+    With ``with_connector`` a repeated-connection host runs from ``s0``
+    toward ``vsink`` (the SYN-attack victim).
+    """
+    topo = _simple_topology(n_sources, bottleneck_bw, queue_limit,
+                            with_victim_sink=with_connector)
+    net = Network(topo, proc_jitter=proc_jitter)
+    paths = install_static_routes(net)
+    oracle = PathOracle(paths)
+    schedule = RoundSchedule(tau=tau)
+    chi = ProtocolChi(net, oracle, schedule, targets=[("r", "rd")],
+                      config=chi_config or ChiConfig())
+    flows = {}
+    for i in range(n_sources):
+        flow_id = f"tcp{i}"
+        flows[flow_id] = TCPFlow(net, f"s{i}", "sink", flow_id,
+                                 start=0.1 * (i + 1))
+    connector = None
+    if with_connector:
+        connector = RepeatedConnector(net, "s0", "vsink", start=0.5)
+    return DropTailScenario(network=net, chi=chi, schedule=schedule,
+                            oracle=oracle, flows=flows, target=("r", "rd"),
+                            connector=connector)
+
+
+# RED parameters calibrated so that, under the default 8-flow load on a
+# 1 Mbps bottleneck, the average queue oscillates through the paper's
+# 45,000- and 54,000-byte attack thresholds (Figs 6.12-6.13).
+DEFAULT_RED_PARAMS = REDParams(
+    min_th=30_000, max_th=90_000, max_p=0.05, weight=0.002,
+)
+
+
+def build_red_scenario(
+    n_sources: int = 8,
+    bottleneck_bw: float = 1.0 * MBPS,
+    queue_limit: int = 120_000,
+    tau: float = 5.0,
+    red_params: Optional[REDParams] = None,
+    with_connector: bool = False,
+    chi_config: Optional[ChiConfig] = None,
+    seed: int = 0,
+) -> REDScenario:
+    """The RED testbed of Figs 6.11-6.16."""
+    params = red_params or DEFAULT_RED_PARAMS
+    topo = _simple_topology(n_sources, bottleneck_bw, queue_limit,
+                            with_victim_sink=with_connector)
+
+    def queue_factory(link):
+        if link.src == "r" and link.dst == "rd":
+            return REDQueue(link.queue_limit, params=params,
+                            rng=random.Random(seed + 1))
+        return DropTailQueue(link.queue_limit)
+
+    net = Network(topo, queue_factory=queue_factory, proc_jitter=0.0)
+    paths = install_static_routes(net)
+    oracle = PathOracle(paths)
+    schedule = RoundSchedule(tau=tau)
+    config = chi_config or ChiConfig(red_params=params)
+    if config.red_params is None:
+        config.red_params = params
+    chi = ProtocolChi(net, oracle, schedule, targets=[("r", "rd")],
+                      config=config)
+    flows = {}
+    for i in range(n_sources):
+        flow_id = f"tcp{i}"
+        flows[flow_id] = TCPFlow(net, f"s{i}", "sink", flow_id,
+                                 start=0.15 * (i + 1))
+    connector = None
+    if with_connector:
+        connector = RepeatedConnector(net, "s0", "vsink", start=0.5)
+    return REDScenario(network=net, chi=chi, schedule=schedule,
+                       oracle=oracle, flows=flows, target=("r", "rd"),
+                       red_params=params, connector=connector)

@@ -1,0 +1,73 @@
+"""Network substrate: discrete-event simulator, routers, queues, routing, traffic.
+
+This package implements the packet-switched network model of Chapter 2/4 of
+the paper: routers interconnected by directional point-to-point links, each
+router forwarding hop-by-hop from a local forwarding table computed by a
+link-state routing protocol.  Output interfaces are buffered by droptail or
+RED queues; monitors can tap enqueue/transmit/drop/receive events to build
+the traffic summaries that the detection protocols consume.
+"""
+
+from repro.net.events import Simulator, Event
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import Topology, Link, abilene, chain, diamond
+from repro.net.queues import DropTailQueue, REDQueue, QueueEvent
+from repro.net.router import ForwardAction, MonitorTap, Network, Router
+from repro.net.routing import LinkStateRouting, ForwardingTable
+from repro.net.traffic import CBRSource, PoissonSource, OnOffSource
+from repro.net.tcp import TCPFlow
+from repro.net.adversary import (
+    CombinedCompromise,
+    Compromise,
+    ControlSuppressionAttack,
+    DropAllAttack,
+    DropFractionAttack,
+    DropFlowAttack,
+    QueueConditionalDropAttack,
+    REDAverageConditionalDropAttack,
+    SynDropAttack,
+    ModifyAttack,
+    ReorderAttack,
+    DelayAttack,
+    FabricateAttack,
+    MisrouteAttack,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Packet",
+    "PacketKind",
+    "Topology",
+    "Link",
+    "abilene",
+    "chain",
+    "diamond",
+    "DropTailQueue",
+    "REDQueue",
+    "QueueEvent",
+    "Router",
+    "Network",
+    "MonitorTap",
+    "ForwardAction",
+    "LinkStateRouting",
+    "ForwardingTable",
+    "CBRSource",
+    "PoissonSource",
+    "OnOffSource",
+    "TCPFlow",
+    "Compromise",
+    "CombinedCompromise",
+    "ControlSuppressionAttack",
+    "DropAllAttack",
+    "DropFractionAttack",
+    "DropFlowAttack",
+    "QueueConditionalDropAttack",
+    "REDAverageConditionalDropAttack",
+    "SynDropAttack",
+    "ModifyAttack",
+    "ReorderAttack",
+    "DelayAttack",
+    "FabricateAttack",
+    "MisrouteAttack",
+]

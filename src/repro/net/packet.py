@@ -1,0 +1,173 @@
+"""Packets and their invariant identity.
+
+A packet models the fields the detection protocols care about: an
+end-to-end invariant part (addresses, flow/port identifiers, sequence
+number, payload) and mutable per-hop fields (TTL, header checksum) that a
+correct router legitimately rewrites.  Fingerprints (see
+:mod:`repro.crypto.fingerprint`) must be computed over the invariant part
+only — the paper discusses exactly this subtlety in §7.4.2.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+_packet_ids = itertools.count(1)
+
+
+class PacketKind(enum.Enum):
+    """Transport-level role of a packet."""
+
+    DATA = "data"
+    ACK = "ack"
+    SYN = "syn"
+    SYN_ACK = "syn_ack"
+    CONTROL = "control"  # protocol messages (summaries, LSAs, alerts)
+    PROBE = "probe"
+
+
+DEFAULT_TTL = 64
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    ``src``/``dst`` are router (or host) names.  ``flow_id`` identifies the
+    transport flow; ``seq`` is the transport sequence number.  ``payload``
+    stands in for the packet body: any hashable value, typically bytes.
+
+    ``ttl`` and ``checksum`` are the per-hop mutable fields.  A correct
+    router decrements ``ttl`` and recomputes ``checksum`` on every hop; a
+    malicious router may corrupt the invariant fields, which is what
+    content validation detects.
+    """
+
+    src: str
+    dst: str
+    size: int = 1000
+    kind: PacketKind = PacketKind.DATA
+    flow_id: str = ""
+    seq: int = 0
+    payload: bytes = b""
+    ttl: int = DEFAULT_TTL
+    checksum: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    # Fragmentation (§7.4.4).  A fragment carries its original packet's
+    # uid; its own uid (hence fingerprint) is fresh — which is exactly why
+    # in-network fragmentation breaks pre-computed upstream fingerprints.
+    fragment_of: Optional[int] = None
+    fragment_index: int = 0
+    last_fragment: bool = True
+    # Bookkeeping used by the simulator and experiments (not "on the wire").
+    hops: Tuple[str, ...] = ()
+    fabricated_by: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+        self.checksum = self.compute_checksum()
+
+    def invariant_fields(self) -> tuple:
+        """The end-to-end invariant identity of this packet.
+
+        Excludes ``ttl`` and ``checksum`` (mutated hop-by-hop) and all
+        simulator bookkeeping.  Fingerprints must be computed over exactly
+        this tuple so that the same packet observed at different routers
+        yields the same fingerprint.
+        """
+        return (
+            self.src,
+            self.dst,
+            self.size,
+            self.kind.value,
+            self.flow_id,
+            self.seq,
+            self.payload,
+            self.uid,
+            self.fragment_of if self.fragment_of is not None else -1,
+            self.fragment_index,
+        )
+
+    def compute_checksum(self) -> int:
+        """A toy internet-checksum stand-in over header fields + TTL."""
+        acc = self.ttl
+        for part in (self.src, self.dst, self.flow_id):
+            for ch in part:
+                acc = (acc + ord(ch)) & 0xFFFF
+        acc = (acc + self.seq + self.size) & 0xFFFF
+        return acc
+
+    def hop(self, router_name: str) -> None:
+        """Apply correct per-hop mutation: decrement TTL, fix checksum."""
+        self.ttl -= 1
+        self.checksum = self.compute_checksum()
+        self.hops = self.hops + (router_name,)
+
+    @property
+    def expired(self) -> bool:
+        return self.ttl <= 0
+
+    def fragment(self, mtu: int) -> list:
+        """Split into MTU-sized fragments (§7.4.4).
+
+        Each fragment gets a fresh uid and therefore a fresh fingerprint
+        — faithfully modelling why fingerprints computed upstream of the
+        fragmenting router stop matching downstream observations.
+        """
+        if mtu <= 0:
+            raise ValueError("mtu must be positive")
+        if self.size <= mtu:
+            return [self]
+        fragments = []
+        remaining = self.size
+        index = 0
+        while remaining > 0:
+            piece = min(mtu, remaining)
+            remaining -= piece
+            frag = Packet(
+                src=self.src, dst=self.dst, size=piece, kind=self.kind,
+                flow_id=self.flow_id, seq=self.seq,
+                payload=self.payload, ttl=self.ttl,
+            )
+            frag.fragment_of = self.uid
+            frag.fragment_index = index
+            frag.last_fragment = remaining == 0
+            frag.created_at = self.created_at
+            frag.hops = self.hops
+            fragments.append(frag)
+            index += 1
+        return fragments
+
+    def clone_modified(self, payload: bytes) -> "Packet":
+        """Return a maliciously modified copy (same uid, altered payload).
+
+        The uid is preserved because on the wire a modified packet occupies
+        the position of the original; content validation distinguishes the
+        two by fingerprint, not uid.
+        """
+        twin = Packet(
+            src=self.src,
+            dst=self.dst,
+            size=self.size,
+            kind=self.kind,
+            flow_id=self.flow_id,
+            seq=self.seq,
+            payload=payload,
+            ttl=self.ttl,
+        )
+        twin.uid = self.uid
+        twin.created_at = self.created_at
+        twin.hops = self.hops
+        return twin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(uid={self.uid}, {self.src}->{self.dst}, "
+            f"{self.kind.value}, flow={self.flow_id!r}, seq={self.seq}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,404 @@
+"""Routers, output interfaces, and the assembled network.
+
+The model follows §4.1: output-buffered routers joined by directional
+links.  Each output interface owns a queue (droptail or RED) and a
+transmitter that serializes packets at link bandwidth; a packet then takes
+the link's propagation delay to reach the neighbour.
+
+Three cross-cutting hooks make the rest of the library possible:
+
+* **Monitor taps** observe receive/enqueue/transmit/drop/deliver events.
+  The detection protocols' traffic summary generators are taps — they see
+  exactly what the paper's in-kernel summary generator would see.
+* **Compromise hooks** let an adversary rewrite a router's forwarding
+  behaviour (drop/modify/delay/misroute/fabricate), modelling a router
+  whose *data plane* is subverted while the simulator stays honest about
+  what actually happened (ground truth for evaluating detectors).
+* **Control-plane channel** for protocol messages (summaries, alerts),
+  with optional in-path interception by protocol-faulty routers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.events import Simulator
+from repro.net.packet import Packet, PacketKind
+from repro.net.queues import DropReason, DropTailQueue, QueueEvent, REDQueue
+from repro.net.topology import Link, Topology
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent 32-bit hash (``hash()`` is salted per run)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:4], "big")
+
+
+class MonitorTap:
+    """Base class for traffic observers.  Override what you need.
+
+    All times are simulation (true) time; protocols that model clock skew
+    translate via :mod:`repro.dist.sync`.
+    """
+
+    def on_receive(self, router: "Router", from_nbr: str, packet: Packet,
+                   time: float) -> None:
+        """Packet fully arrived at ``router`` from ``from_nbr``."""
+
+    def on_enqueue(self, router: "Router", out_nbr: str, packet: Packet,
+                   time: float, occupancy: int) -> None:
+        """Packet accepted into the output queue toward ``out_nbr``."""
+
+    def on_transmit(self, router: "Router", out_nbr: str, packet: Packet,
+                    time: float) -> None:
+        """Last bit of packet left ``router`` toward ``out_nbr``."""
+
+    def on_drop(self, router: "Router", out_nbr: Optional[str], packet: Packet,
+                time: float, reason: DropReason, drop_prob: float) -> None:
+        """Packet lost at ``router`` (queue loss, TTL, or malice)."""
+
+    def on_deliver(self, router: "Router", packet: Packet, time: float) -> None:
+        """Packet consumed at its destination router."""
+
+    def on_originate(self, router: "Router", packet: Packet, time: float) -> None:
+        """Packet injected into the network at its source router."""
+
+
+# -- adversary interface ----------------------------------------------------
+
+class ForwardAction:
+    """What a compromised router decides to do with a transit packet."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+
+    def __init__(self, kind: str, packet: Optional[Packet] = None,
+                 out_nbr: Optional[str] = None, delay: float = 0.0) -> None:
+        self.kind = kind
+        self.packet = packet
+        self.out_nbr = out_nbr
+        self.delay = delay
+
+    @classmethod
+    def forward(cls) -> "ForwardAction":
+        return cls(cls.FORWARD)
+
+    @classmethod
+    def drop(cls) -> "ForwardAction":
+        return cls(cls.DROP)
+
+    @classmethod
+    def modify(cls, packet: Packet) -> "ForwardAction":
+        return cls(cls.FORWARD, packet=packet)
+
+    @classmethod
+    def misroute(cls, out_nbr: str) -> "ForwardAction":
+        return cls(cls.FORWARD, out_nbr=out_nbr)
+
+    @classmethod
+    def delay(cls, seconds: float) -> "ForwardAction":
+        return cls(cls.FORWARD, delay=seconds)
+
+
+class OutputInterface:
+    """One directed link's queue + transmitter at the sending router."""
+
+    def __init__(self, router: "Router", link: Link, queue) -> None:
+        self.router = router
+        self.link = link
+        self.queue = queue
+        self.busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    @property
+    def neighbor(self) -> str:
+        return self.link.dst
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        accepted, reason, prob = self.queue.offer(packet, now)
+        net = self.router.network
+        if not accepted:
+            for tap in net.taps:
+                tap.on_drop(self.router, self.neighbor, packet, now, reason, prob)
+            return False
+        for tap in net.taps:
+            tap.on_enqueue(self.router, self.neighbor, packet, now,
+                           self.queue.occupancy)
+        if not self.busy:
+            self._start_transmission(now)
+        return True
+
+    def _start_transmission(self, now: float) -> None:
+        packet = self.queue.pop(now)
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_time = self.link.transmission_delay(packet.size)
+        self.router.network.sim.schedule(
+            tx_time, self._finish_transmission, packet
+        )
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        net = self.router.network
+        now = net.sim.now
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        for tap in net.taps:
+            tap.on_transmit(self.router, self.neighbor, packet, now)
+        if self.link.up:
+            net.sim.schedule(self.link.delay, net.arrive, self.neighbor,
+                             self.router.name, packet)
+        # On a dead link the bits fall on the floor; the control plane
+        # notices via missed hellos, not via any magic signal.
+        # Immediately begin the next packet, if any.
+        self._start_transmission(now)
+
+
+class Router:
+    """An output-buffered router."""
+
+    def __init__(
+        self,
+        name: str,
+        network: "Network",
+        proc_jitter: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.interfaces: Dict[str, OutputInterface] = {}
+        # dst -> list of next hops (ECMP); chosen deterministically by flow hash.
+        self.forwarding_table: Dict[str, List[str]] = {}
+        # (src, dst) -> next hops; the policy-based routing of §5.3.1 that
+        # lets a router avoid suspected path-segments it sits inside.
+        self.policy_table: Dict[Tuple[str, str], List[str]] = {}
+        self.compromise = None  # type: Optional[Any]
+        self.proc_jitter = proc_jitter
+        self._rng = random.Random(_stable_hash(name))
+        # Local "applications": flow_id -> callback(packet, time)
+        self.local_flows: Dict[str, Callable[[Packet, float], None]] = {}
+        self.delivered = 0
+        self.forwarded = 0
+
+    # -- wiring ------------------------------------------------------------
+    def add_interface(self, link: Link, queue) -> None:
+        self.interfaces[link.dst] = OutputInterface(self, link, queue)
+
+    def neighbors(self) -> List[str]:
+        return list(self.interfaces)
+
+    def register_flow(self, flow_id: str,
+                      handler: Callable[[Packet, float], None]) -> None:
+        self.local_flows[flow_id] = handler
+
+    # -- forwarding --------------------------------------------------------
+    def next_hop(self, packet: Packet) -> Optional[str]:
+        hops = self.policy_table.get((packet.src, packet.dst))
+        if not hops:
+            hops = self.forwarding_table.get(packet.dst)
+        if not hops:
+            return None
+        if len(hops) == 1:
+            return hops[0]
+        # Deterministic ECMP hash on flow identity (§4.1: predictable paths).
+        idx = _stable_hash(f"{packet.src}|{packet.dst}|{packet.flow_id}")
+        return hops[idx % len(hops)]
+
+    def originate(self, packet: Packet) -> None:
+        """Inject a locally sourced packet (terminal router assumed good)."""
+        now = self.network.sim.now
+        packet.created_at = now
+        packet.hops = (self.name,)
+        for tap in self.network.taps:
+            tap.on_originate(self, packet, now)
+        if packet.dst == self.name:
+            self._deliver(packet, now)
+            return
+        self._route(packet, incoming=None, allow_compromise=False)
+
+    def receive(self, packet: Packet, from_nbr: str) -> None:
+        now = self.network.sim.now
+        for tap in self.network.taps:
+            tap.on_receive(self, from_nbr, packet, now)
+        if packet.dst == self.name:
+            self._deliver(packet, now)
+            return
+        self._route(packet, incoming=from_nbr, allow_compromise=True)
+
+    def _deliver(self, packet: Packet, now: float) -> None:
+        self.delivered += 1
+        for tap in self.network.taps:
+            tap.on_deliver(self, packet, now)
+        handler = self.local_flows.get(packet.flow_id)
+        if handler is not None:
+            handler(packet, now)
+
+    def _route(self, packet: Packet, incoming: Optional[str],
+               allow_compromise: bool) -> None:
+        now = self.network.sim.now
+        out_nbr = self.next_hop(packet)
+        if out_nbr is None:
+            for tap in self.network.taps:
+                tap.on_drop(self, None, packet, now,
+                            DropReason.CONGESTION, 1.0)
+            return
+        if packet.expired:
+            for tap in self.network.taps:
+                tap.on_drop(self, out_nbr, packet, now,
+                            DropReason.TTL_EXPIRED, 1.0)
+            return
+
+        if allow_compromise and self.compromise is not None:
+            iface = self.interfaces.get(out_nbr)
+            action = self.compromise.on_forward(
+                self, packet, incoming, out_nbr, iface
+            )
+            if action.kind == ForwardAction.DROP:
+                for tap in self.network.taps:
+                    tap.on_drop(self, out_nbr, packet, now,
+                                DropReason.MALICIOUS, 0.0)
+                return
+            if action.packet is not None:
+                packet = action.packet
+            if action.out_nbr is not None:
+                out_nbr = action.out_nbr
+            if action.delay > 0:
+                self.network.sim.schedule(
+                    action.delay, self._enqueue_toward, packet, out_nbr
+                )
+                return
+
+        self._enqueue_toward(packet, out_nbr)
+
+    def _enqueue_toward(self, packet: Packet, out_nbr: str) -> None:
+        now = self.network.sim.now
+        packet.hop(self.name)
+        self.forwarded += 1
+        iface = self.interfaces.get(out_nbr)
+        if iface is None:
+            for tap in self.network.taps:
+                tap.on_drop(self, out_nbr, packet, now,
+                            DropReason.CONGESTION, 1.0)
+            return
+        mtu = iface.link.mtu
+        if mtu is not None and packet.size > mtu:
+            # In-network fragmentation (§7.4.4): split and enqueue each
+            # piece.  Fragments carry fresh identities, so any upstream
+            # fingerprint of the original packet is now unmatchable.
+            for fragment in packet.fragment(mtu):
+                if self.proc_jitter > 0:
+                    delay = self._rng.uniform(0.0, self.proc_jitter)
+                    self.network.sim.schedule(
+                        delay, self._jittered_enqueue, iface, fragment)
+                else:
+                    iface.enqueue(fragment, now)
+            return
+        if self.proc_jitter > 0:
+            delay = self._rng.uniform(0.0, self.proc_jitter)
+            self.network.sim.schedule(delay, self._jittered_enqueue, iface, packet)
+            return
+        iface.enqueue(packet, now)
+
+    def _jittered_enqueue(self, iface: OutputInterface, packet: Packet) -> None:
+        iface.enqueue(packet, self.network.sim.now)
+
+    def inject_fabricated(self, packet: Packet, out_nbr: str) -> None:
+        """Adversary-only: push a fabricated packet into an output queue."""
+        packet.fabricated_by = self.name
+        iface = self.interfaces.get(out_nbr)
+        if iface is not None:
+            iface.enqueue(packet, self.network.sim.now)
+
+
+class Network:
+    """The assembled simulation: topology + routers + event engine."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        sim: Optional[Simulator] = None,
+        queue_factory: Optional[Callable[[Link], Any]] = None,
+        proc_jitter: float = 0.0,
+        control_delay: float = 0.002,
+    ) -> None:
+        self.topology = topology
+        self.sim = sim or Simulator()
+        self.taps: List[MonitorTap] = []
+        self.routers: Dict[str, Router] = {}
+        self.control_delay = control_delay
+        if queue_factory is None:
+            queue_factory = lambda link: DropTailQueue(link.queue_limit)
+        for name in topology.routers:
+            self.routers[name] = Router(name, self, proc_jitter=proc_jitter)
+        for link in topology.links():
+            self.routers[link.src].add_interface(link, queue_factory(link))
+
+    def router(self, name: str) -> Router:
+        return self.routers[name]
+
+    def add_tap(self, tap: MonitorTap) -> None:
+        self.taps.append(tap)
+
+    def remove_tap(self, tap: MonitorTap) -> None:
+        self.taps.remove(tap)
+
+    def arrive(self, at: str, from_nbr: str, packet: Packet) -> None:
+        """Link propagation completed: hand the packet to the receiver."""
+        self.routers[at].receive(packet, from_nbr)
+
+    # -- link state management ----------------------------------------------
+    def fail_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        """Take a link down (fiber cut).  In-queue packets are lost."""
+        self.topology.link(a, b).up = False
+        if bidirectional:
+            self.topology.link(b, a).up = False
+
+    def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
+        self.topology.link(a, b).up = True
+        if bidirectional:
+            self.topology.link(b, a).up = True
+
+    # -- control plane -----------------------------------------------------
+    def send_control(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        on_deliver: Callable[[Any], None],
+        via_path: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Deliver a protocol message from ``src`` to ``dst``.
+
+        When ``via_path`` is given, every *intermediate* compromised router
+        on the path gets a chance to intercept (drop or alter) the message
+        — this models a protocol-faulty router suppressing the traffic
+        summaries of Πk+2 that are exchanged through the monitored
+        path-segment itself (§5.2).  Without ``via_path`` the message is
+        delivered over an idealized authenticated channel (as Π2's
+        consensus assumes sufficient path diversity).
+        """
+        message = payload
+        if via_path is not None:
+            for hop in via_path[1:-1]:
+                comp = self.routers[hop].compromise
+                if comp is None:
+                    continue
+                message = comp.on_control(self.routers[hop], src, dst, message)
+                if message is None:
+                    return  # suppressed in transit
+        hops = len(via_path) - 1 if via_path else 1
+        self.sim.schedule(self.control_delay * max(1, hops),
+                          on_deliver, message, )
+
+    # -- convenience -------------------------------------------------------
+    def set_forwarding_tables(self, tables: Dict[str, Dict[str, List[str]]]) -> None:
+        for name, table in tables.items():
+            self.routers[name].forwarding_table = {
+                dst: list(hops) for dst, hops in table.items()
+            }
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)

@@ -1,0 +1,432 @@
+"""Link-state routing with suspicion-driven path-segment exclusion.
+
+Two modes are provided:
+
+* :func:`install_static_routes` — compute shortest paths straight from the
+  topology and install forwarding tables.  Used by experiments that are
+  not about control-plane dynamics.
+* :class:`LinkStateRouting` — an OSPF-flavoured daemon per router: hello
+  adjacency bring-up, LSA flooding, SPF scheduling with *delay* and *hold*
+  timers (the two Zebra parameters called out in §5.3.2), and alert
+  flooding.  This reproduces the Fig 5.7 timeline: initial convergence,
+  detection, and rerouting one spf-delay + hold later.
+
+**Response semantics** (§2.4.3, §5.3.1): a suspicion names a path-segment
+⟨r1..rm⟩.  A 2-segment excludes the link; a longer segment forbids any
+path that traverses those routers *consecutively in that order*.  Because
+hop-by-hop tables keyed only on destination cannot express "don't follow
+a→b→c", the paper uses policy routing keyed on source; we reproduce that
+by computing per-(src, dst) paths under the forbidden-window constraint
+and installing per-pair policy entries along each path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.net.router import Network, Router
+from repro.net.topology import Topology
+
+PathSegment = Tuple[str, ...]
+
+
+class ForwardingTable(dict):
+    """dst -> list of next hops.  A thin dict subclass for clarity."""
+
+
+def _forbidden_windows(suspicions: Iterable[PathSegment]) -> Tuple[Set[Tuple[str, str]], Set[PathSegment]]:
+    """Split suspicions into excluded links and forbidden windows (len>=3)."""
+    bad_links: Set[Tuple[str, str]] = set()
+    windows: Set[PathSegment] = set()
+    for seg in suspicions:
+        seg = tuple(seg)
+        if len(seg) < 2:
+            continue
+        if len(seg) == 2:
+            bad_links.add((seg[0], seg[1]))
+        else:
+            windows.add(seg)
+    return bad_links, windows
+
+
+def shortest_path_avoiding(
+    topology: Topology,
+    src: str,
+    dst: str,
+    suspicions: Iterable[PathSegment] = (),
+    link_up: Optional[Set[Tuple[str, str]]] = None,
+) -> Optional[List[str]]:
+    """Dijkstra over (window) states so forbidden segments are never taken.
+
+    ``link_up``, when given, restricts usable links (the daemon passes its
+    LSDB view).  Returns the router sequence or None if unreachable.
+    """
+    bad_links, windows = _forbidden_windows(suspicions)
+    max_window = max((len(w) for w in windows), default=2)
+    wsize = max(1, max_window - 1)  # how many trailing routers to remember
+
+    def blocked(window: Tuple[str, ...]) -> bool:
+        # window is the path suffix including the new router
+        for w in windows:
+            if len(window) >= len(w) and window[-len(w):] == w:
+                return True
+        return False
+
+    start_state = (src,)
+    dist: Dict[Tuple[str, ...], float] = {start_state: 0.0}
+    prev: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Tuple[str, ...]]] = [(0.0, next(counter), start_state)]
+    best_final: Optional[Tuple[str, ...]] = None
+
+    while heap:
+        d, _, state = heapq.heappop(heap)
+        if d > dist.get(state, float("inf")):
+            continue
+        here = state[-1]
+        if here == dst:
+            best_final = state
+            break
+        for nbr in topology.neighbors(here):
+            if (here, nbr) in bad_links:
+                continue
+            if link_up is not None and (here, nbr) not in link_up:
+                continue
+            if nbr in state:  # no loops within remembered window; also cheap cycle guard
+                continue
+            new_window = (state + (nbr,))[-(wsize + 1):]
+            if blocked(state + (nbr,)):
+                continue
+            cost = d + topology.link(here, nbr).metric
+            new_state = new_window
+            # Keep full path via prev-chain; state key is the window.
+            key = new_state
+            if cost < dist.get(key, float("inf")):
+                dist[key] = cost
+                prev[key] = state
+                heapq.heappush(heap, (cost, next(counter), key))
+
+    if best_final is None:
+        return None
+    # Reconstruct path by walking prev chain of window states.
+    path_rev = [best_final[-1]]
+    state = best_final
+    while state in prev:
+        parent = prev[state]
+        path_rev.append(parent[-1])
+        state = parent
+    path = list(reversed(path_rev))
+    if path[0] != src:
+        path.insert(0, src)
+    # Deduplicate accidental repeats from window-state reconstruction.
+    cleaned = [path[0]]
+    for hop in path[1:]:
+        if hop != cleaned[-1]:
+            cleaned.append(hop)
+    return cleaned
+
+
+def compute_all_paths(
+    topology: Topology,
+    suspicions: Iterable[PathSegment] = (),
+    link_up: Optional[Set[Tuple[str, str]]] = None,
+) -> Dict[Tuple[str, str], List[str]]:
+    """Shortest path for every ordered router pair, under constraints."""
+    paths: Dict[Tuple[str, str], List[str]] = {}
+    routers = topology.routers
+    suspicions = list(suspicions)
+    for src in routers:
+        for dst in routers:
+            if src == dst:
+                continue
+            path = shortest_path_avoiding(topology, src, dst, suspicions, link_up)
+            if path is not None:
+                paths[(src, dst)] = path
+    return paths
+
+
+def install_static_routes(
+    network: Network,
+    suspicions: Iterable[PathSegment] = (),
+) -> Dict[Tuple[str, str], List[str]]:
+    """Compute and install routes; returns the path map used.
+
+    Destination-keyed tables are installed from the unconstrained shortest
+    paths; when suspicions exist, per-(src, dst) policy entries are added
+    along every constrained path (the paper's policy-based routing).
+    """
+    suspicions = list(suspicions)
+    topo = network.topology
+    base_paths = compute_all_paths(topo)
+    for (src, dst), path in base_paths.items():
+        if path[0] == src and len(path) > 1:
+            network.routers[src].forwarding_table.setdefault(dst, [])
+    # Plain dst-keyed tables from unconstrained SPF:
+    for (src, dst), path in base_paths.items():
+        network.routers[src].forwarding_table[dst] = [path[1]]
+    paths = base_paths
+    if suspicions:
+        paths = compute_all_paths(topo, suspicions)
+        for router in network.routers.values():
+            router.policy_table = {}
+        for (src, dst), path in paths.items():
+            for i, hop in enumerate(path[:-1]):
+                network.routers[hop].policy_table[(src, dst)] = [path[i + 1]]
+    return paths
+
+
+@dataclass
+class LSA:
+    """A link-state advertisement: who I am, my live links, my sequence."""
+
+    origin: str
+    seq: int
+    links: Tuple[str, ...]  # neighbor names with an up adjacency
+
+
+@dataclass
+class Alert:
+    """A flooded suspicion announcement (signed by origin in the model)."""
+
+    origin: str
+    segment: PathSegment
+    interval: Tuple[float, float]
+    alert_id: int = 0
+
+
+class LinkStateRouting:
+    """Network-wide OSPF-flavoured control plane with Fatih response hooks."""
+
+    def __init__(
+        self,
+        network: Network,
+        spf_delay: float = 5.0,
+        spf_hold: float = 10.0,
+        hello_interval: float = 10.0,
+        hellos_for_adjacency: int = 2,
+        boot_spread: float = 30.0,
+        flood_hop_delay: float = 0.05,
+        lsa_refresh: float = 15.0,
+        dead_interval: Optional[float] = None,
+    ) -> None:
+        self.network = network
+        self.spf_delay = spf_delay
+        self.spf_hold = spf_hold
+        self.hello_interval = hello_interval
+        self.hellos_for_adjacency = hellos_for_adjacency
+        self.boot_spread = boot_spread
+        self.flood_hop_delay = flood_hop_delay
+        self.lsa_refresh = lsa_refresh
+        # OSPF router-dead interval: adjacency drops after this long
+        # without a hello (default: 4 hello intervals, as in OSPF).
+        self.dead_interval = (dead_interval if dead_interval is not None
+                              else 4.0 * hello_interval)
+        sim = network.sim
+        names = network.topology.routers
+        self._alert_ids = itertools.count(1)
+        self.state: Dict[str, _DaemonState] = {
+            name: _DaemonState(name) for name in names
+        }
+        self.converged_at: Dict[str, float] = {}
+        self.suspicion_log: List[Tuple[float, Alert]] = []
+        self.spf_runs: List[Tuple[float, str]] = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Boot every daemon at a deterministic, spread-out time."""
+        names = self.network.topology.routers
+        for i, name in enumerate(names):
+            boot = (i / max(1, len(names) - 1)) * self.boot_spread if len(names) > 1 else 0.0
+            self.network.sim.schedule_at(boot, self._boot, name)
+
+    def _boot(self, name: str) -> None:
+        st = self.state[name]
+        st.booted = True
+        self._send_hellos(name)
+        self.network.sim.schedule(self.lsa_refresh, self._refresh_lsa, name)
+
+    def _refresh_lsa(self, name: str) -> None:
+        """Periodic re-origination so late-booting routers catch up
+        (standing in for OSPF's database exchange + LSA refresh)."""
+        st = self.state[name]
+        if st.adjacencies:
+            self._originate_lsa(name)
+        self.network.sim.schedule(self.lsa_refresh, self._refresh_lsa, name)
+
+    def _send_hellos(self, name: str) -> None:
+        st = self.state[name]
+        if not st.booted:
+            return
+        for nbr in self.network.routers[name].neighbors():
+            if not self.network.topology.link(name, nbr).up:
+                continue  # the wire is dead; hellos die with it
+            self.network.sim.schedule(
+                self.flood_hop_delay, self._recv_hello, nbr, name
+            )
+        self._check_dead_neighbors(name)
+        self.network.sim.schedule(self.hello_interval, self._send_hellos, name)
+
+    def _check_dead_neighbors(self, name: str) -> None:
+        """Drop adjacencies whose hellos stopped (router-dead interval)."""
+        st = self.state[name]
+        now = self.network.sim.now
+        dead = [nbr for nbr in st.adjacencies
+                if now - st.last_hello.get(nbr, now) > self.dead_interval]
+        if not dead:
+            return
+        for nbr in dead:
+            st.adjacencies.discard(nbr)
+            st.hello_counts[nbr] = 0
+        self._originate_lsa(name)
+
+    def _recv_hello(self, at: str, from_nbr: str) -> None:
+        st = self.state[at]
+        if not st.booted:
+            return
+        if not self.network.topology.link(from_nbr, at).up:
+            return  # in-flight hello on a link that just died
+        st.last_hello[from_nbr] = self.network.sim.now
+        st.hello_counts[from_nbr] = st.hello_counts.get(from_nbr, 0) + 1
+        if (st.hello_counts[from_nbr] >= self.hellos_for_adjacency
+                and from_nbr not in st.adjacencies):
+            st.adjacencies.add(from_nbr)
+            self._originate_lsa(at)
+
+    def _originate_lsa(self, name: str) -> None:
+        st = self.state[name]
+        st.lsa_seq += 1
+        lsa = LSA(origin=name, seq=st.lsa_seq,
+                  links=tuple(sorted(st.adjacencies)))
+        self._install_lsa(name, lsa)
+        self._flood(name, lsa, exclude=None)
+
+    def _flood(self, at: str, item, exclude: Optional[str]) -> None:
+        for nbr in self.network.routers[at].neighbors():
+            if nbr == exclude:
+                continue
+            if not self.network.topology.link(at, nbr).up:
+                continue
+            self.network.sim.schedule(
+                self.flood_hop_delay, self._recv_flood, nbr, at, item
+            )
+
+    def _recv_flood(self, at: str, from_nbr: str, item) -> None:
+        st = self.state[at]
+        if not st.booted:
+            return
+        if isinstance(item, LSA):
+            known = st.lsdb.get(item.origin)
+            if known is not None and known.seq >= item.seq:
+                return
+            self._install_lsa(at, item)
+            self._flood(at, item, exclude=from_nbr)
+        elif isinstance(item, Alert):
+            if item.alert_id in st.seen_alerts:
+                return
+            st.seen_alerts.add(item.alert_id)
+            self._accept_alert(at, item)
+            self._flood(at, item, exclude=from_nbr)
+
+    def _install_lsa(self, at: str, lsa: LSA) -> None:
+        st = self.state[at]
+        known = st.lsdb.get(lsa.origin)
+        st.lsdb[lsa.origin] = lsa
+        if known is None or known.links != lsa.links:
+            self._schedule_spf(at)
+
+    def _accept_alert(self, at: str, alert: Alert) -> None:
+        st = self.state[at]
+        st.suspicions.add(tuple(alert.segment))
+        self.suspicion_log.append((self.network.sim.now, alert))
+        self._schedule_spf(at)
+
+    # -- SPF scheduling (delay + hold timers, §5.3.2) ------------------------
+    def _schedule_spf(self, name: str) -> None:
+        st = self.state[name]
+        if st.spf_pending:
+            return
+        now = self.network.sim.now
+        earliest = max(now + self.spf_delay, st.last_spf + self.spf_hold)
+        st.spf_pending = True
+        self.network.sim.schedule_at(earliest, self._run_spf, name)
+
+    def _run_spf(self, name: str) -> None:
+        st = self.state[name]
+        st.spf_pending = False
+        st.last_spf = self.network.sim.now
+        self.spf_runs.append((self.network.sim.now, name))
+        link_up = self._links_up(st)
+        topo = self.network.topology
+        router = self.network.routers[name]
+        # dst-keyed table from this router's LSDB view.
+        table: Dict[str, List[str]] = {}
+        policy: Dict[Tuple[str, str], List[str]] = {}
+        for dst in topo.routers:
+            if dst == name:
+                continue
+            path = shortest_path_avoiding(topo, name, dst, (), link_up)
+            if path is not None and len(path) > 1:
+                table[dst] = [path[1]]
+        if st.suspicions:
+            # Per-(src, dst) policy entries for transit traffic through us.
+            for src in topo.routers:
+                for dst in topo.routers:
+                    if src == dst:
+                        continue
+                    path = shortest_path_avoiding(
+                        topo, src, dst, st.suspicions, link_up
+                    )
+                    if path is None or name not in path[:-1]:
+                        continue
+                    idx = path.index(name)
+                    policy[(src, dst)] = [path[idx + 1]]
+        router.forwarding_table = table
+        router.policy_table = policy
+        if table and name not in self.converged_at:
+            if len(table) == len(topo.routers) - 1:
+                self.converged_at[name] = self.network.sim.now
+
+    def _links_up(self, st: "_DaemonState") -> Set[Tuple[str, str]]:
+        up: Set[Tuple[str, str]] = set()
+        for origin, lsa in st.lsdb.items():
+            for nbr in lsa.links:
+                up.add((origin, nbr))
+        # A link is usable only if both directions are advertised.
+        return {(a, b) for (a, b) in up if (b, a) in up}
+
+    # -- public API ----------------------------------------------------------
+    def announce_suspicion(self, origin: str, segment: PathSegment,
+                           interval: Tuple[float, float]) -> None:
+        """Called by a detector at ``origin``: flood an alert network-wide."""
+        alert = Alert(origin=origin, segment=tuple(segment),
+                      interval=interval, alert_id=next(self._alert_ids))
+        st = self.state[origin]
+        st.seen_alerts.add(alert.alert_id)
+        self._accept_alert(origin, alert)
+        self._flood(origin, alert, exclude=None)
+
+    def all_converged(self) -> bool:
+        return len(self.converged_at) == len(self.network.routers)
+
+    def convergence_time(self) -> Optional[float]:
+        if not self.all_converged():
+            return None
+        return max(self.converged_at.values())
+
+
+class _DaemonState:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.booted = False
+        self.hello_counts: Dict[str, int] = {}
+        self.last_hello: Dict[str, float] = {}
+        self.adjacencies: Set[str] = set()
+        self.lsa_seq = 0
+        self.lsdb: Dict[str, LSA] = {}
+        self.suspicions: Set[PathSegment] = set()
+        self.seen_alerts: Set[int] = set()
+        self.spf_pending = False
+        self.last_spf = float("-inf")

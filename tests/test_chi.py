@@ -1,0 +1,318 @@
+"""Tests for Protocol χ: queue validators, confidence tests, protocol."""
+
+import math
+
+import pytest
+
+from repro.core.chi import (
+    ChiConfig,
+    ProtocolChi,
+    QueueValidator,
+    REDQueueValidator,
+    TrafficRecord,
+    combined_loss_confidence,
+    red_aggregate_confidence,
+    red_flow_confidences,
+    single_loss_confidence,
+)
+from repro.core.summaries import PathOracle
+from repro.dist.sync import RoundSchedule
+from repro.net.adversary import DropFlowAttack
+from repro.net.queues import REDParams
+from repro.net.router import Network
+from repro.net.routing import install_static_routes
+from repro.net.tcp import TCPFlow
+from repro.net.topology import MBPS, Topology
+
+
+def rec(fp, size=1000, time=0.0, flow="f", dst="d"):
+    return TrafficRecord(fp=fp, size=size, time=time, flow_id=flow, dst=dst)
+
+
+class TestConfidenceFunctions:
+    def test_single_confidence_high_when_queue_empty(self):
+        c = single_loss_confidence(q_limit=30_000, q_pred=0,
+                                   packet_size=1000, mu=0, sigma=1000)
+        assert c > 0.999
+
+    def test_single_confidence_low_when_queue_full(self):
+        c = single_loss_confidence(q_limit=30_000, q_pred=29_500,
+                                   packet_size=1000, mu=0, sigma=1000)
+        assert c < 0.5
+
+    def test_single_confidence_monotone_in_margin(self):
+        confidences = [
+            single_loss_confidence(30_000, q, 1000, 0, 1000)
+            for q in range(0, 30_000, 3_000)
+        ]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_mu_shifts_the_curve(self):
+        base = single_loss_confidence(30_000, 25_000, 1000, 0, 1000)
+        biased = single_loss_confidence(30_000, 25_000, 1000, -2000, 1000)
+        assert biased > base
+
+    def test_sigma_must_be_positive(self):
+        with pytest.raises(ValueError):
+            single_loss_confidence(1, 0, 1, 0, 0)
+
+    def test_combined_sharpens_with_n(self):
+        # individually ambiguous drops, jointly damning
+        single = combined_loss_confidence(30_000, [27_000], [1000], 0, 2000)
+        many = combined_loss_confidence(30_000, [27_000] * 16, [1000] * 16,
+                                        0, 2000)
+        assert many > single
+
+    def test_combined_empty(self):
+        assert combined_loss_confidence(1000, [], [], 0, 1) == 0.0
+
+
+class TestQueueValidator:
+    def test_exact_simulation_no_losses(self):
+        v = QueueValidator(queue_limit=10_000, bandwidth=1 * MBPS)
+        ins = [rec(i, time=i * 0.001) for i in range(5)]
+        outs = [rec(i, time=0.05 + i * 0.008) for i in range(5)]
+        v.feed(ins, outs)
+        verdicts = v.advance(10.0)
+        assert verdicts == []
+        assert v.q_pred == 0.0
+
+    def test_q_pred_tracks_occupancy(self):
+        v = QueueValidator(queue_limit=10_000, bandwidth=1 * MBPS)
+        ins = [rec(1, time=0.0), rec(2, time=0.001)]
+        outs = [rec(1, time=5.0), rec(2, time=5.008)]
+        v.feed(ins, outs)
+        v.advance(1.0)  # both arrivals processed, departures still pending
+        assert v.q_pred == 2000.0
+        v.advance(20.0)
+        assert v.q_pred == 0.0
+
+    def test_missing_packet_with_room_is_candidate(self):
+        v = QueueValidator(queue_limit=10_000, bandwidth=1 * MBPS,
+                           mu=0.0, sigma=100.0)
+        ins = [rec(1, time=0.0), rec(2, time=0.001)]
+        outs = [rec(1, time=0.05)]
+        v.feed(ins, outs)
+        verdicts = v.advance(10.0)
+        assert len(verdicts) == 1
+        assert not verdicts[0].congestive
+        assert verdicts[0].confidence > 0.999
+
+    def test_missing_packet_when_full_is_congestive(self):
+        v = QueueValidator(queue_limit=3_000, bandwidth=1 * MBPS)
+        ins = [rec(i, time=i * 1e-4) for i in range(4)]
+        outs = [rec(i, time=1.0 + 0.008 * i) for i in range(3)]
+        v.feed(ins, outs)
+        verdicts = v.advance(10.0)
+        assert len(verdicts) == 1
+        assert verdicts[0].congestive
+
+    def test_unmatched_departure_counted(self):
+        v = QueueValidator(queue_limit=10_000, bandwidth=1 * MBPS)
+        v.feed([], [rec(99, time=0.5)])
+        v.advance(10.0)
+        assert v.unmatched_out == 1
+        assert v.q_pred == 0.0  # never negative
+
+    def test_pending_events_held_back(self):
+        v = QueueValidator(queue_limit=10_000, bandwidth=1 * MBPS,
+                           wait_slack=0.05)
+        ins = [rec(1, time=5.0)]
+        v.feed(ins, [])
+        assert v.advance(5.01) == []  # inside the max-wait window
+        verdicts = v.advance(5.0 + v.max_wait + 0.01)
+        assert len(verdicts) == 1
+
+    def test_calibration_fits_truth(self):
+        v = QueueValidator(queue_limit=10_000, bandwidth=1 * MBPS)
+        ins = [rec(i, time=0.01 * i) for i in range(10)]
+        outs = [rec(i, time=0.01 * i + 0.5) for i in range(10)]
+        v.feed(ins, outs)
+        v.advance(10.0)
+        # Truth says occupancy was always 500 bytes above the prediction.
+        samples = [(0.01 * i + 0.001, int(v.q_pred_at(0.01 * i + 0.001)) + 500)
+                   for i in range(10)]
+        mu, sigma = v.calibrate(samples, min_sigma=1.0)
+        assert mu == pytest.approx(500.0)
+
+    def test_q_pred_at_interpolates_steps(self):
+        v = QueueValidator(queue_limit=10_000, bandwidth=1 * MBPS)
+        v.feed([rec(1, time=1.0)], [rec(1, time=2.0)])
+        v.advance(10.0)
+        assert v.q_pred_at(0.5) == 0.0
+        assert v.q_pred_at(1.5) == 1000.0
+        assert v.q_pred_at(2.5) == 0.0
+
+
+class TestREDValidator:
+    def params(self):
+        return REDParams(min_th=2_000, max_th=6_000, max_p=0.5,
+                         weight=0.5, byte_mode=False)
+
+    def test_drop_below_min_th_has_probability_zero(self):
+        v = REDQueueValidator(10_000, 1 * MBPS, self.params())
+        # single arrival, never transmitted, average starts at 0
+        v.feed([rec(1, time=0.0)], [])
+        verdicts = v.advance(10.0)
+        assert len(verdicts) == 1
+        assert verdicts[0].red_drop_prob == 0.0
+        assert verdicts[0].confidence == 1.0  # definite malice
+
+    def test_forced_drop_when_over_limit(self):
+        v = REDQueueValidator(2_500, 1 * MBPS, self.params())
+        ins = [rec(i, time=i * 1e-5) for i in range(4)]
+        outs = [rec(i, time=1.0 + 0.008 * i) for i in range(2)]
+        v.feed(ins, outs)
+        verdicts = v.advance(10.0)
+        forced = [v_ for v_ in verdicts if v_.congestive]
+        assert forced
+
+    def test_aggregate_confidence_balanced_when_consistent(self):
+        probs = [(rec(i), 0.5, i % 2 == 0) for i in range(100)]
+        conf = red_aggregate_confidence(probs)
+        assert 0.1 < conf < 0.9
+
+    def test_aggregate_confidence_high_when_excess_drops(self):
+        probs = [(rec(i), 0.1, True) for i in range(50)]
+        assert red_aggregate_confidence(probs) > 0.999
+
+    def test_flow_confidences_continuity_correction(self):
+        probs = [(rec(i, flow="a"), 0.2, False) for i in range(30)]
+        conf = red_flow_confidences(probs)
+        assert conf["a"][0] < 0.5  # no drops at all: below expectation
+
+    def test_flow_confidences_min_arrivals(self):
+        probs = [(rec(i, flow="tiny"), 0.2, True) for i in range(5)]
+        assert red_flow_confidences(probs, min_arrivals=20) == {}
+
+    def test_flow_grouping_by_key(self):
+        probs = ([(rec(i, flow="a", dst="v"), 0.1, True) for i in range(30)]
+                 + [(rec(i + 100, flow="b", dst="w"), 0.1, False)
+                    for i in range(30)])
+        by_dst = red_flow_confidences(probs, key=lambda r: r.dst)
+        assert by_dst["v"][0] > by_dst["w"][0]
+
+
+def build_chi_network(tau=2.0):
+    topo = Topology("chi-test")
+    for s in ("s1", "s2", "s3"):
+        topo.add_link(s, "r", bandwidth=80 * MBPS, delay=0.002)
+    topo.add_link("r", "rd", bandwidth=1 * MBPS, delay=0.005,
+                  queue_limit=60_000)
+    topo.add_link("rd", "sink", bandwidth=80 * MBPS, delay=0.002)
+    net = Network(topo, proc_jitter=0.0004)
+    paths = install_static_routes(net)
+    chi = ProtocolChi(net, PathOracle(paths), RoundSchedule(tau=tau),
+                      targets=[("r", "rd")])
+    return net, chi
+
+
+class TestProtocolChiEndToEnd:
+    def test_silent_under_pure_congestion(self):
+        net, chi = build_chi_network()
+        flows = [TCPFlow(net, s, "sink", f"tcp{i}", start=0.1 * i)
+                 for i, s in enumerate(("s1", "s2", "s3"))]
+        net.run(16.0)
+        chi.calibrate(("r", "rd"))
+        chi.schedule_rounds(8, 24)
+        net.run(52.0)
+        assert all(not f.alarmed for f in chi.findings)
+        assert sum(f.congestive_drops for f in chi.findings) > 0
+
+    def test_detects_selective_dropper_and_floods_suspicion(self):
+        net, chi = build_chi_network()
+        flows = [TCPFlow(net, s, "sink", f"tcp{i}", start=0.1 * i)
+                 for i, s in enumerate(("s1", "s2", "s3"))]
+        net.run(16.0)
+        chi.calibrate(("r", "rd"))
+        chi.schedule_rounds(8, 24)
+        net.run(20.0)
+        net.routers["r"].compromise = DropFlowAttack(["tcp1"], fraction=0.3,
+                                                     seed=3)
+        net.run(52.0)
+        assert any(f.alarmed for f in chi.findings)
+        # The suspicion names the monitored link with precision 2 and was
+        # flooded to every correct router.
+        for name in ("s1", "rd", "sink"):
+            segments = chi.states[name].suspected_segments()
+            assert ("r", "rd") in segments
+
+    def test_misreporting_neighbour_named_protocol_faulty(self):
+        """§6.2.2: an upstream hiding its Tinfo leaves departures nobody
+        claimed; the oracle attributes them and the neighbour's link is
+        suspected."""
+        net, chi = build_chi_network()
+        chi.reporters["s1"] = lambda recs: []  # claims it sent nothing
+        flows = [TCPFlow(net, s, "sink", f"tcp{i}", start=0.1 * i)
+                 for i, s in enumerate(("s1", "s2", "s3"))]
+        chi.schedule_rounds(1, 10)
+        net.run(24.0)
+        validator = chi.validators[("r", "rd")]
+        assert validator.unmatched_out > 0
+        flagged = [f for f in chi.findings if f.misreporting_neighbors]
+        assert flagged
+        assert all(f.misreporting_neighbors == ["s1"] for f in flagged)
+        # The suspicion names the (s1, r) link, precision 2, flooded.
+        assert ("s1", "r") in chi.states["sink"].suspected_segments()
+
+    def test_honest_neighbours_not_flagged(self):
+        net, chi = build_chi_network()
+        flows = [TCPFlow(net, s, "sink", f"tcp{i}", start=0.1 * i)
+                 for i, s in enumerate(("s1", "s2", "s3"))]
+        chi.schedule_rounds(1, 10)
+        net.run(24.0)
+        assert all(not f.misreporting_neighbors for f in chi.findings)
+
+
+class TestMisrouteDetection:
+    """§2.2.1: misrouting = loss at the right queue + fabrication at the
+    wrong one.  χ monitoring both queues sees both signatures and never
+    frames the honest upstream neighbour."""
+
+    def build(self):
+        from repro.net.adversary import MisrouteAttack
+        topo = Topology("misroute")
+        topo.add_link("s1", "r", bandwidth=80 * MBPS, delay=0.002)
+        topo.add_link("r", "rd1", bandwidth=5 * MBPS, delay=0.005)
+        topo.add_link("r", "rd2", bandwidth=5 * MBPS, delay=0.005)
+        topo.add_link("rd1", "sink1", bandwidth=80 * MBPS, delay=0.002)
+        topo.add_link("rd2", "sink2", bandwidth=80 * MBPS, delay=0.002)
+        net = Network(topo)
+        paths = install_static_routes(net)
+        chi = ProtocolChi(net, PathOracle(paths), RoundSchedule(tau=1.0),
+                          targets=[("r", "rd1"), ("r", "rd2")])
+        return net, chi
+
+    def test_misroute_flags_both_queues_not_the_neighbor(self):
+        from repro.net.adversary import MisrouteAttack
+        from repro.net.traffic import CBRSource
+        net, chi = self.build()
+        chi.schedule_rounds(0, 5)
+        CBRSource(net, "s1", "sink1", "f", rate_bps=400_000, duration=5.0)
+        net.routers["r"].compromise = MisrouteAttack(wrong_nbr="rd2",
+                                                     flows=["f"],
+                                                     fraction=0.5, seed=1)
+        net.run(8.0)
+        findings1 = [f for f in chi.findings if f.target == ("r", "rd1")]
+        findings2 = [f for f in chi.findings if f.target == ("r", "rd2")]
+        # Loss signature at the correct queue...
+        assert any(f.candidate_drops > 0 for f in findings1)
+        assert any(f.alarmed for f in findings1)
+        # ...fabrication/misroute signature at the wrong queue...
+        assert any(f.misroute_alarm for f in findings2)
+        # ...and no honest neighbour is named protocol faulty.
+        assert all(not f.misreporting_neighbors
+                   for f in findings1 + findings2)
+        # Both suspicions name the misbehaving router's links.
+        suspected = chi.states["sink1"].suspected_segments()
+        assert ("r", "rd1") in suspected
+        assert ("r", "rd2") in suspected
+
+    def test_clean_dual_queue_silent(self):
+        from repro.net.traffic import CBRSource
+        net, chi = self.build()
+        chi.schedule_rounds(0, 5)
+        CBRSource(net, "s1", "sink1", "f", rate_bps=400_000, duration=5.0)
+        CBRSource(net, "s1", "sink2", "g", rate_bps=400_000, duration=5.0)
+        net.run(8.0)
+        assert all(not f.alarmed for f in chi.findings)

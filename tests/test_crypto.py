@@ -1,0 +1,192 @@
+"""Unit tests for fingerprints, keys, signatures, hash chains."""
+
+import pytest
+
+from repro.crypto.fingerprint import FingerprintSampler, fingerprint, fingerprint_bytes
+from repro.crypto.hashchain import HashChain
+from repro.crypto.keys import KeyInfrastructure
+from repro.crypto.signatures import Signed, SignatureError, canonical_bytes
+from repro.net.packet import Packet
+
+
+class TestFingerprint:
+    def test_stable_across_hops(self):
+        """§7.4.2: fingerprints must ignore TTL and checksum."""
+        p = Packet(src="a", dst="b", payload=b"data")
+        before = fingerprint(p)
+        p.hop("r1")
+        p.hop("r2")
+        assert fingerprint(p) == before
+
+    def test_sensitive_to_payload(self):
+        p = Packet(src="a", dst="b", payload=b"data")
+        evil = p.clone_modified(b"tampered")
+        assert fingerprint(p) != fingerprint(evil)
+
+    def test_key_separates_domains(self):
+        p = Packet(src="a", dst="b")
+        assert fingerprint(p, b"k1") != fingerprint(p, b"k2")
+
+    def test_64_bit_output(self):
+        p = Packet(src="a", dst="b")
+        assert len(fingerprint_bytes(p)) == 8
+        assert 0 <= fingerprint(p) < (1 << 64)
+
+    def test_distinct_packets_distinct_fingerprints(self):
+        fps = {fingerprint(Packet(src="a", dst="b", seq=i))
+               for i in range(1000)}
+        assert len(fps) == 1000
+
+
+class TestSampler:
+    def test_rate_one_samples_everything(self):
+        sampler = FingerprintSampler(rate=1.0)
+        assert all(sampler.sampled(Packet(src="a", dst="b", seq=i))
+                   for i in range(50))
+
+    def test_rate_controls_fraction(self):
+        sampler = FingerprintSampler(rate=0.25, key=b"s")
+        packets = [Packet(src="a", dst="b", seq=i) for i in range(4000)]
+        frac = sum(sampler.sampled(p) for p in packets) / len(packets)
+        assert frac == pytest.approx(0.25, abs=0.03)
+
+    def test_same_key_same_decisions(self):
+        a = FingerprintSampler(rate=0.5, key=b"shared")
+        b = FingerprintSampler(rate=0.5, key=b"shared")
+        packets = [Packet(src="a", dst="b", seq=i) for i in range(100)]
+        assert [a.sampled(p) for p in packets] == \
+            [b.sampled(p) for p in packets]
+
+    def test_secret_key_changes_selection(self):
+        """An intermediary guessing the wrong key samples a different set."""
+        a = FingerprintSampler(rate=0.5, key=b"secret")
+        b = FingerprintSampler(rate=0.5, key=b"guess")
+        packets = [Packet(src="a", dst="b", seq=i) for i in range(200)]
+        assert [a.sampled(p) for p in packets] != \
+            [b.sampled(p) for p in packets]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FingerprintSampler(rate=0.0)
+        with pytest.raises(ValueError):
+            FingerprintSampler(rate=1.5)
+
+
+class TestKeys:
+    def test_pair_key_symmetric(self):
+        keys = KeyInfrastructure()
+        assert keys.pair_key("a", "b") == keys.pair_key("b", "a")
+
+    def test_pair_keys_distinct(self):
+        keys = KeyInfrastructure()
+        assert keys.pair_key("a", "b") != keys.pair_key("a", "c")
+
+    def test_signing_keys_distinct(self):
+        keys = KeyInfrastructure()
+        assert keys.signing_key("a") != keys.signing_key("b")
+
+    def test_master_secret_separates_infrastructures(self):
+        a = KeyInfrastructure(b"net-a")
+        b = KeyInfrastructure(b"net-b")
+        assert a.signing_key("r") != b.signing_key("r")
+
+    def test_group_key_order_free(self):
+        keys = KeyInfrastructure()
+        assert keys.group_key(("a", "b", "c")) == keys.group_key(("c", "a", "b"))
+
+
+class TestCanonicalBytes:
+    def test_primitives(self):
+        for value in (None, True, False, 0, -3, 1.5, "s", b"b"):
+            assert isinstance(canonical_bytes(value), bytes)
+
+    def test_dict_key_order_ignored(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == \
+            canonical_bytes({"b": 2, "a": 1})
+
+    def test_set_order_ignored(self):
+        assert canonical_bytes({3, 1, 2}) == canonical_bytes({2, 3, 1})
+
+    def test_type_distinctions(self):
+        assert canonical_bytes(1) != canonical_bytes("1")
+        assert canonical_bytes([1, 2]) != canonical_bytes([12])
+        assert canonical_bytes(["ab"]) != canonical_bytes(["a", "b"])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_dataclasses_supported(self):
+        from repro.core.summaries import SummaryPolicy, TrafficSummary
+        summary = TrafficSummary(
+            router="r", segment=("a", "b"), round_index=0,
+            direction="sent", policy=SummaryPolicy.FLOW,
+            count=3, byte_count=3000,
+        )
+        assert isinstance(canonical_bytes(summary), bytes)
+
+
+class TestSigned:
+    def test_sign_and_verify(self):
+        keys = KeyInfrastructure()
+        signed = Signed.sign({"count": 5}, "r1", keys.signing_key("r1"))
+        assert signed.verify(keys.signing_key("r1"))
+        assert signed.verify_or_raise(keys.signing_key("r1")) == {"count": 5}
+
+    def test_tampered_payload_fails(self):
+        keys = KeyInfrastructure()
+        signed = Signed.sign({"count": 5}, "r1", keys.signing_key("r1"))
+        forged = Signed(payload={"count": 9}, signer="r1", mac=signed.mac)
+        assert not forged.verify(keys.signing_key("r1"))
+        with pytest.raises(SignatureError):
+            forged.verify_or_raise(keys.signing_key("r1"))
+
+    def test_wrong_signer_fails(self):
+        keys = KeyInfrastructure()
+        signed = Signed.sign("x", "r1", keys.signing_key("r1"))
+        stolen = Signed(payload="x", signer="r2", mac=signed.mac)
+        assert not stolen.verify(keys.signing_key("r2"))
+
+    def test_cannot_sign_without_key(self):
+        """Structural security: forging needs the victim's key object."""
+        keys = KeyInfrastructure()
+        attacker_keys = KeyInfrastructure(b"attacker-guess")
+        forged = Signed.sign("lie", "r1", attacker_keys.signing_key("r1"))
+        assert not forged.verify(keys.signing_key("r1"))
+
+
+class TestHashChain:
+    def test_release_verifies_against_anchor(self):
+        chain = HashChain(b"seed", length=10)
+        anchor = chain.anchor
+        value = chain.release()
+        assert HashChain.verify(value, anchor, max_steps=1)
+
+    def test_later_releases_need_more_steps(self):
+        chain = HashChain(b"seed", length=10)
+        anchor = chain.anchor
+        chain.release()
+        second = chain.release()
+        assert not HashChain.verify(second, anchor, max_steps=1)
+        assert HashChain.verify(second, anchor, max_steps=2)
+
+    def test_wrong_value_rejected(self):
+        chain = HashChain(b"seed", length=5)
+        assert not HashChain.verify(b"junk", chain.anchor, max_steps=5)
+
+    def test_exhaustion(self):
+        chain = HashChain(b"seed", length=2)
+        chain.release()
+        chain.release()
+        with pytest.raises(RuntimeError):
+            chain.release()
+
+    def test_remaining(self):
+        chain = HashChain(b"seed", length=3)
+        assert chain.remaining == 3
+        chain.release()
+        assert chain.remaining == 2
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            HashChain(b"seed", length=0)

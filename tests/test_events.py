@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.net.events import Event, Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "last")
+        sim.run()
+        assert fired == ["early", "late", "last"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.schedule_at(4.0, lambda: None)
+        sim.run()
+        assert sim.now == 4.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "in")
+        sim.schedule(5.0, fired.append, "out")
+        sim.run(until=2.0)
+        assert fired == ["in"]
+        assert sim.now == 2.0  # clock advances to the horizon
+
+    def test_run_until_resumes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        sim.run(until=10.0)
+        assert fired == ["a", "b"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        dispatched = sim.run(max_events=2)
+        assert dispatched == 2
+        assert fired == [0, 1]
+
+    def test_run_returns_dispatch_count(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_per_event(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, fired.append, "keep")
+        drop = sim.schedule(1.0, fired.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert fired == ["keep"]
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None

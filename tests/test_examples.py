@@ -1,0 +1,36 @@
+"""Every example script must run clean end to end (they are the docs)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "protocol_comparison",
+    "active_replication",
+    "congestion_vs_malice",
+])
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+@pytest.mark.parametrize("name", ["fatih_abilene", "red_stealth_attack"])
+def test_slow_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert "detected" in out.lower() or "suspected" in out.lower()

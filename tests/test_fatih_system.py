@@ -1,0 +1,96 @@
+"""Additional Fatih coordinator behaviours: re-arming, segment hygiene."""
+
+import pytest
+
+from repro.core.fatih import FatihConfig, FatihSystem
+from repro.net.adversary import DropFractionAttack
+from repro.net.router import Network
+from repro.net.routing import LinkStateRouting
+from repro.net.topology import MBPS, abilene
+from repro.net.traffic import CBRSource
+
+
+def build(rebuild_grace=6.0):
+    net = Network(abilene(bandwidth=10 * MBPS), proc_jitter=0.0002)
+    routing = LinkStateRouting(net, spf_delay=1.0, spf_hold=2.0,
+                               hello_interval=2.0, boot_spread=4.0,
+                               flood_hop_delay=0.01, lsa_refresh=4.0)
+    routing.start()
+    fatih = FatihSystem(net, routing,
+                        config=FatihConfig(tau=2.0, threshold=2,
+                                           rebuild_grace=rebuild_grace))
+    flows = [("Sunnyvale", "NewYork"), ("NewYork", "Sunnyvale"),
+             ("LosAngeles", "Chicago"), ("Seattle", "WashingtonDC")]
+    for i, (s, d) in enumerate(flows):
+        CBRSource(net, s, d, f"bg{i}", rate_bps=80_000, start=10.0)
+    return net, routing, fatih
+
+
+class TestRearm:
+    def test_monitoring_rearms_after_detection(self):
+        net, routing, fatih = build()
+        fatih.start_monitoring(at=12.0, until=80.0)
+        net.run(30.0)
+        first_protocol = fatih.protocol  # the pre-attack instance
+        net.routers["KansasCity"].compromise = DropFractionAttack(0.25,
+                                                                  seed=1)
+        net.run(80.0)
+        assert fatih.suspicions
+        # A fresh protocol instance replaced the stale-oracle one.
+        assert fatih.protocol is not None
+        assert fatih.protocol is not first_protocol
+        assert first_protocol.stopped
+
+    def test_rearmed_monitor_excludes_suspected_segments(self):
+        net, routing, fatih = build()
+        fatih.start_monitoring(at=12.0, until=80.0)
+        net.run(30.0)
+        net.routers["KansasCity"].compromise = DropFractionAttack(0.25,
+                                                                  seed=1)
+        net.run(80.0)
+        suspected = fatih.suspected_segments()
+        assert suspected
+        monitored = set(fatih.protocol.segments)
+        assert not (suspected & monitored)
+
+    def test_old_protocol_stopped_on_detection(self):
+        net, routing, fatih = build()
+        fatih.start_monitoring(at=12.0, until=80.0)
+        net.run(30.0)
+        first_protocol = fatih.protocol
+        net.routers["KansasCity"].compromise = DropFractionAttack(0.25,
+                                                                  seed=1)
+        net.run(50.0)
+        assert first_protocol.stopped
+
+    def test_no_rearm_when_window_over(self):
+        net, routing, fatih = build(rebuild_grace=100.0)
+        fatih.start_monitoring(at=12.0, until=40.0)
+        net.run(30.0)
+        net.routers["KansasCity"].compromise = DropFractionAttack(0.25,
+                                                                  seed=1)
+        net.run(60.0)
+        # Detection happened, but the grace period extends past the
+        # monitoring window: no rearm is scheduled.
+        assert fatih.suspicions
+        assert fatih.protocol.stopped
+
+
+class TestDetectionQuality:
+    def test_repeated_detection_isolates_more_segments(self):
+        """Each rearm re-monitors the surviving fabric, so a uniformly
+        malicious router accumulates exclusions round by round (§2.4.3:
+        'each of these paths will be separately detected and then routed
+        around')."""
+        net, routing, fatih = build()
+        fatih.start_monitoring(at=12.0, until=110.0)
+        net.run(25.0)
+        net.routers["KansasCity"].compromise = DropFractionAttack(0.3,
+                                                                  seed=2)
+        net.run(55.0)
+        first_batch = len(fatih.suspected_segments())
+        assert first_batch > 0
+        net.run(110.0)
+        # All suspicions, early and late, contain the attacker.
+        for seg in fatih.suspected_segments():
+            assert "KansasCity" in seg

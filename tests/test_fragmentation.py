@@ -1,0 +1,115 @@
+"""Tests for §7.4.4 — fragmentation vs fingerprint validation."""
+
+import pytest
+
+from repro.core.pik2 import PiK2Config, ProtocolPiK2
+from repro.core.summaries import PathOracle, SegmentMonitor
+from repro.crypto.fingerprint import fingerprint
+from repro.crypto.keys import KeyInfrastructure
+from repro.dist.sync import RoundSchedule
+from repro.net.packet import Packet
+from repro.net.router import Network
+from repro.net.routing import install_static_routes
+from repro.net.topology import MBPS, Topology
+from repro.net.traffic import CBRSource
+
+
+class TestPacketFragmentation:
+    def test_sizes_partition_original(self):
+        packet = Packet(src="a", dst="b", size=2500)
+        fragments = packet.fragment(1000)
+        assert [f.size for f in fragments] == [1000, 1000, 500]
+        assert fragments[-1].last_fragment
+        assert not fragments[0].last_fragment
+
+    def test_small_packet_untouched(self):
+        packet = Packet(src="a", dst="b", size=500)
+        assert packet.fragment(1000) == [packet]
+
+    def test_fragments_reference_original(self):
+        packet = Packet(src="a", dst="b", size=2000)
+        fragments = packet.fragment(1500)
+        assert all(f.fragment_of == packet.uid for f in fragments)
+        assert [f.fragment_index for f in fragments] == [0, 1]
+
+    def test_fragment_fingerprints_differ_from_original(self):
+        """The §7.4.4 problem in one assertion."""
+        packet = Packet(src="a", dst="b", size=2000)
+        original_fp = fingerprint(packet)
+        for frag in packet.fragment(1500):
+            assert fingerprint(frag) != original_fp
+
+    def test_invalid_mtu(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", size=10).fragment(0)
+
+
+def fragmenting_net(mtu_on_middle_link):
+    topo = Topology("frag")
+    topo.add_link("r1", "r2", bandwidth=10 * MBPS, delay=0.001)
+    topo.add_link("r2", "r3", bandwidth=10 * MBPS, delay=0.001,
+                  mtu=mtu_on_middle_link)
+    topo.add_link("r3", "r4", bandwidth=10 * MBPS, delay=0.001)
+    net = Network(topo)
+    install_static_routes(net)
+    return net
+
+
+class TestInNetworkFragmentation:
+    def test_all_bytes_delivered_as_fragments(self):
+        net = fragmenting_net(mtu_on_middle_link=600)
+        got = []
+        net.routers["r4"].register_flow("f", lambda p, t: got.append(p))
+        net.routers["r1"].originate(
+            Packet(src="r1", dst="r4", flow_id="f", size=1500))
+        net.run(1.0)
+        assert len(got) == 3  # 600 + 600 + 300
+        assert sum(p.size for p in got) == 1500
+        assert all(p.fragment_of is not None for p in got)
+
+    def test_no_mtu_no_fragmentation(self):
+        net = fragmenting_net(mtu_on_middle_link=None)
+        got = []
+        net.routers["r4"].register_flow("f", lambda p, t: got.append(p))
+        net.routers["r1"].originate(
+            Packet(src="r1", dst="r4", flow_id="f", size=1500))
+        net.run(1.0)
+        assert len(got) == 1
+
+    def test_fragmentation_breaks_content_validation(self):
+        """§7.4.4: "the pre-computed fingerprints at the upstream routers
+        are no longer valid" — a monitored segment spanning the
+        fragmentation point fails TV even with everyone honest."""
+        net = fragmenting_net(mtu_on_middle_link=600)
+        paths = install_static_routes(net)
+        monitor = SegmentMonitor(net, PathOracle(paths),
+                                 RoundSchedule(tau=1.0))
+        net.add_tap(monitor)
+        segment = ("r1", "r2", "r3")
+        monitor.watch_segment(segment, monitors=("r1", "r3"))
+        CBRSource(net, "r1", "r4", "f", rate_bps=800_000,
+                  packet_size=1500, duration=0.5)
+        net.run(1.5)
+        sent = monitor.summary(segment, "r1", "sent", 0)
+        received = monitor.summary(segment, "r3", "received", 0)
+        assert sent.count > 0
+        # Same bytes arrived, but no fingerprint matches.
+        assert sent.fingerprints.isdisjoint(received.fingerprints)
+
+    def test_df_sized_packets_keep_validation_sound(self):
+        """The practical remedy: path-MTU-sized (DF) packets never
+        fragment, so validation is unaffected."""
+        net = fragmenting_net(mtu_on_middle_link=600)
+        paths = install_static_routes(net)
+        monitor = SegmentMonitor(net, PathOracle(paths),
+                                 RoundSchedule(tau=1.0))
+        net.add_tap(monitor)
+        segment = ("r1", "r2", "r3")
+        monitor.watch_segment(segment, monitors=("r1", "r3"))
+        CBRSource(net, "r1", "r4", "f", rate_bps=800_000,
+                  packet_size=500, duration=0.5)
+        net.run(1.5)
+        sent = monitor.summary(segment, "r1", "sent", 0)
+        received = monitor.summary(segment, "r3", "received", 0)
+        assert sent.count > 0
+        assert sent.fingerprints == received.fingerprints

@@ -1,0 +1,101 @@
+"""System-wide invariants: conservation of traffic in the simulator.
+
+The detection protocols are built on "conservation of traffic" (§2.4.1);
+these tests pin the *simulator's* own books: every originated packet is
+delivered, queued, in flight, or accounted to exactly one drop event.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import Packet
+from repro.net.queues import DropReason
+from repro.net.router import MonitorTap, Network
+from repro.net.routing import install_static_routes
+from repro.net.topology import MBPS, Topology, chain
+from repro.net.traffic import PoissonSource
+from repro.net.adversary import DropFlowAttack
+
+
+class LedgerTap(MonitorTap):
+    """Counts every conservation-relevant event."""
+
+    def __init__(self):
+        self.originated = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.drop_reasons = {}
+
+    def on_originate(self, router, packet, time):
+        self.originated += 1
+
+    def on_deliver(self, router, packet, time):
+        self.delivered += 1
+
+    def on_drop(self, router, out_nbr, packet, time, reason, drop_prob):
+        self.dropped += 1
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+
+def run_ledger(rate_pps, queue_limit, duration=4.0, attack=None, seed=0):
+    topo = Topology("ledger")
+    topo.add_link("s", "r", bandwidth=20 * MBPS, delay=0.001)
+    topo.add_link("r", "d", bandwidth=1 * MBPS, delay=0.001,
+                  queue_limit=queue_limit)
+    net = Network(topo)
+    install_static_routes(net)
+    ledger = LedgerTap()
+    net.add_tap(ledger)
+    if attack is not None:
+        net.routers["r"].compromise = attack
+    PoissonSource(net, "s", "d", "f", rate_pps=rate_pps,
+                  duration=duration, seed=seed)
+    net.run(duration + 30.0)  # generous drain time
+    return ledger
+
+
+class TestConservation:
+    def test_uncongested_everything_delivered(self):
+        ledger = run_ledger(rate_pps=50, queue_limit=64_000)
+        assert ledger.originated == ledger.delivered
+        assert ledger.dropped == 0
+
+    def test_congested_books_balance(self):
+        ledger = run_ledger(rate_pps=400, queue_limit=8_000)
+        assert ledger.dropped > 0
+        assert ledger.originated == ledger.delivered + ledger.dropped
+
+    def test_malicious_drops_on_their_own_ledger_line(self):
+        attack = DropFlowAttack(["f"], fraction=0.2, seed=1)
+        ledger = run_ledger(rate_pps=50, queue_limit=64_000, attack=attack)
+        assert ledger.originated == ledger.delivered + ledger.dropped
+        assert ledger.drop_reasons.get(DropReason.MALICIOUS, 0) == \
+            len(attack.dropped)
+
+    @settings(max_examples=15, deadline=None)
+    @given(rate=st.integers(min_value=20, max_value=500),
+           queue_kb=st.integers(min_value=3, max_value=64),
+           seed=st.integers(min_value=0, max_value=100))
+    def test_books_balance_for_arbitrary_load(self, rate, queue_kb, seed):
+        ledger = run_ledger(rate_pps=rate, queue_limit=queue_kb * 1000,
+                            seed=seed)
+        assert ledger.originated == ledger.delivered + ledger.dropped
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5_7" in out and "threshold" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.__main__ import main
+        assert main(["run", "nonsense"]) == 2
+
+    def test_run_cheap_experiment(self, capsys):
+        from repro.__main__ import main
+        assert main(["run", "baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "watchers-consorting" in out

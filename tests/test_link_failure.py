@@ -1,0 +1,98 @@
+"""Link failures: physical loss, dead-interval detection, reconvergence.
+
+§4.1 assumes a link-state protocol that adapts the topology; these tests
+cover the simulator's failure machinery and the daemon's OSPF-style
+dead-interval handling (adjacency drop → LSA → SPF → reroute).
+"""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.net.router import Network
+from repro.net.routing import LinkStateRouting, install_static_routes
+from repro.net.topology import MBPS, abilene, chain, diamond
+
+
+class TestPhysicalFailure:
+    def test_packets_on_dead_link_are_lost(self):
+        net = Network(chain(3, bandwidth=10 * MBPS, delay=0.001))
+        install_static_routes(net)
+        got = []
+        net.routers["r3"].register_flow("f", lambda p, t: got.append(p))
+        net.fail_link("r2", "r3")
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f"))
+        net.run(1.0)
+        assert got == []
+
+    def test_restore_link_resumes_delivery(self):
+        net = Network(chain(3, bandwidth=10 * MBPS, delay=0.001))
+        install_static_routes(net)
+        got = []
+        net.routers["r3"].register_flow("f", lambda p, t: got.append(p))
+        net.fail_link("r2", "r3")
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f"))
+        net.run(1.0)
+        net.restore_link("r2", "r3")
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f",
+                                           seq=1))
+        net.run(2.0)
+        assert [p.seq for p in got] == [1]
+
+    def test_unidirectional_failure(self):
+        net = Network(chain(2, bandwidth=10 * MBPS, delay=0.001))
+        install_static_routes(net)
+        forward, backward = [], []
+        net.routers["r2"].register_flow("f", lambda p, t: forward.append(p))
+        net.routers["r1"].register_flow("b", lambda p, t: backward.append(p))
+        net.fail_link("r1", "r2", bidirectional=False)
+        net.routers["r1"].originate(Packet(src="r1", dst="r2", flow_id="f"))
+        net.routers["r2"].originate(Packet(src="r2", dst="r1", flow_id="b"))
+        net.run(1.0)
+        assert forward == []
+        assert len(backward) == 1
+
+
+class TestDeadIntervalReconvergence:
+    def make(self):
+        net = Network(abilene(bandwidth=10 * MBPS))
+        routing = LinkStateRouting(net, spf_delay=0.5, spf_hold=1.0,
+                                   hello_interval=1.0, boot_spread=2.0,
+                                   flood_hop_delay=0.01, lsa_refresh=3.0,
+                                   dead_interval=3.0)
+        routing.start()
+        return net, routing
+
+    def test_adjacency_drops_after_dead_interval(self):
+        net, routing = self.make()
+        net.run(15.0)
+        assert "KansasCity" in routing.state["Denver"].adjacencies
+        net.fail_link("Denver", "KansasCity")
+        net.run(25.0)
+        assert "KansasCity" not in routing.state["Denver"].adjacencies
+        assert "Denver" not in routing.state["KansasCity"].adjacencies
+
+    def test_traffic_reroutes_around_failed_link(self):
+        net, routing = self.make()
+        net.run(15.0)
+        got = []
+        net.routers["NewYork"].register_flow("f", lambda p, t: got.append(t))
+        # Primary Sunnyvale->NewYork path uses Denver-KansasCity.
+        net.fail_link("Denver", "KansasCity")
+        net.run(30.0)  # dead interval + LSA + SPF
+        send_at = net.sim.now
+        net.routers["Sunnyvale"].originate(
+            Packet(src="Sunnyvale", dst="NewYork", flow_id="f", size=100))
+        net.run(send_at + 1.0)
+        assert got, "traffic must flow on an alternate path"
+        # The southern detour is longer than the 25 ms primary.
+        assert got[0] - send_at > 0.0255
+
+    def test_restored_link_readvertised(self):
+        net, routing = self.make()
+        net.run(15.0)
+        net.fail_link("Denver", "KansasCity")
+        net.run(30.0)
+        assert "KansasCity" not in routing.state["Denver"].adjacencies
+        net.restore_link("Denver", "KansasCity")
+        net.run(45.0)
+        assert "KansasCity" in routing.state["Denver"].adjacencies

@@ -1,0 +1,93 @@
+"""Unit tests for packets and their invariant identity."""
+
+import pytest
+
+from repro.net.packet import DEFAULT_TTL, Packet, PacketKind
+
+
+class TestPacketBasics:
+    def test_defaults(self):
+        p = Packet(src="a", dst="b")
+        assert p.size == 1000
+        assert p.kind is PacketKind.DATA
+        assert p.ttl == DEFAULT_TTL
+        assert not p.expired
+
+    def test_unique_uids(self):
+        uids = {Packet(src="a", dst="b").uid for _ in range(100)}
+        assert len(uids) == 100
+
+    def test_positive_size_enforced(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", size=0)
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", size=-5)
+
+    def test_checksum_set_on_creation(self):
+        p = Packet(src="a", dst="b")
+        assert p.checksum == p.compute_checksum()
+
+
+class TestPerHopMutation:
+    def test_hop_decrements_ttl(self):
+        p = Packet(src="a", dst="b")
+        p.hop("r1")
+        assert p.ttl == DEFAULT_TTL - 1
+
+    def test_hop_updates_checksum(self):
+        p = Packet(src="a", dst="b")
+        before = p.checksum
+        p.hop("r1")
+        assert p.checksum == p.compute_checksum()
+        assert p.checksum != before  # ttl participates in the checksum
+
+    def test_hop_records_trace(self):
+        p = Packet(src="a", dst="b")
+        p.hop("r1")
+        p.hop("r2")
+        assert p.hops == ("r1", "r2")
+
+    def test_expired_after_ttl_hops(self):
+        p = Packet(src="a", dst="b", ttl=2)
+        p.hop("r1")
+        p.hop("r2")
+        assert p.expired
+
+    def test_invariant_fields_stable_across_hops(self):
+        p = Packet(src="a", dst="b", payload=b"data")
+        before = p.invariant_fields()
+        p.hop("r1")
+        p.hop("r2")
+        assert p.invariant_fields() == before
+
+
+class TestInvariantIdentity:
+    def test_different_payload_different_identity(self):
+        a = Packet(src="a", dst="b", payload=b"x")
+        b = Packet(src="a", dst="b", payload=b"y")
+        assert a.invariant_fields() != b.invariant_fields()
+
+    def test_identity_includes_uid(self):
+        a = Packet(src="a", dst="b", payload=b"x")
+        b = Packet(src="a", dst="b", payload=b"x")
+        assert a.invariant_fields() != b.invariant_fields()
+
+    def test_ttl_excluded_from_identity(self):
+        p = Packet(src="a", dst="b")
+        fields = p.invariant_fields()
+        p.ttl = 7
+        assert p.invariant_fields() == fields
+
+
+class TestModifiedClone:
+    def test_clone_keeps_uid_and_position_fields(self):
+        p = Packet(src="a", dst="b", payload=b"orig", flow_id="f", seq=3)
+        evil = p.clone_modified(b"tampered")
+        assert evil.uid == p.uid
+        assert evil.flow_id == "f"
+        assert evil.seq == 3
+
+    def test_clone_changes_identity(self):
+        p = Packet(src="a", dst="b", payload=b"orig")
+        evil = p.clone_modified(b"tampered")
+        assert evil.invariant_fields() != p.invariant_fields()

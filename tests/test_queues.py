@@ -1,0 +1,187 @@
+"""Unit tests for droptail and RED queues."""
+
+import random
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.net.queues import (
+    DropReason,
+    DropTailQueue,
+    REDParams,
+    REDQueue,
+    red_drop_probability,
+    red_packet_drop_probability,
+)
+
+
+def pkt(size=1000):
+    return Packet(src="a", dst="b", size=size)
+
+
+class TestDropTail:
+    def test_accepts_until_full(self):
+        q = DropTailQueue(limit_bytes=2500)
+        assert q.offer(pkt(), 0.0)[0]
+        assert q.offer(pkt(), 0.0)[0]
+        accepted, reason, prob = q.offer(pkt(), 0.0)
+        assert not accepted
+        assert reason is DropReason.CONGESTION
+        assert prob == 1.0
+
+    def test_occupancy_tracks_bytes(self):
+        q = DropTailQueue(limit_bytes=10_000)
+        q.offer(pkt(1000), 0.0)
+        q.offer(pkt(500), 0.0)
+        assert q.occupancy == 1500
+        assert len(q) == 2
+
+    def test_fifo_order(self):
+        q = DropTailQueue(limit_bytes=10_000)
+        first, second = pkt(), pkt()
+        q.offer(first, 0.0)
+        q.offer(second, 0.0)
+        assert q.pop(0.0) is first
+        assert q.pop(0.0) is second
+        assert q.pop(0.0) is None
+
+    def test_pop_updates_occupancy(self):
+        q = DropTailQueue(limit_bytes=10_000)
+        q.offer(pkt(800), 0.0)
+        q.pop(0.0)
+        assert q.occupancy == 0
+        assert q.empty
+
+    def test_small_packet_fits_when_big_does_not(self):
+        q = DropTailQueue(limit_bytes=1500)
+        q.offer(pkt(1000), 0.0)
+        assert not q.offer(pkt(1000), 0.0)[0]
+        assert q.offer(pkt(400), 0.0)[0]
+
+    def test_fill_fraction(self):
+        q = DropTailQueue(limit_bytes=2000)
+        q.offer(pkt(1000), 0.0)
+        assert q.fill_fraction() == pytest.approx(0.5)
+
+    def test_counts(self):
+        q = DropTailQueue(limit_bytes=1000)
+        q.offer(pkt(), 0.0)
+        q.offer(pkt(), 0.0)
+        assert q.enqueues == 1
+        assert q.drops == 1
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(limit_bytes=0)
+
+
+class TestREDProbability:
+    def params(self, **kw):
+        defaults = dict(min_th=10_000, max_th=30_000, max_p=0.1,
+                        byte_mode=False)
+        defaults.update(kw)
+        return REDParams(**defaults)
+
+    def test_zero_below_min_threshold(self):
+        assert red_drop_probability(5_000, self.params()) == 0.0
+
+    def test_ramp_midpoint(self):
+        p = red_drop_probability(20_000, self.params())
+        assert p == pytest.approx(0.05)
+
+    def test_gentle_region(self):
+        params = self.params(gentle=True)
+        at_max = red_drop_probability(30_000, params)
+        assert at_max == pytest.approx(0.1)
+        midway = red_drop_probability(45_000, params)
+        assert 0.1 < midway < 1.0
+        assert red_drop_probability(60_000, params) == 1.0
+
+    def test_non_gentle_cliff(self):
+        params = self.params(gentle=False)
+        assert red_drop_probability(30_000, params) == 1.0
+
+    def test_count_uniformization_increases_prob(self):
+        params = self.params()
+        base = red_drop_probability(20_000, params, count=-1)
+        later = red_drop_probability(20_000, params, count=10)
+        assert later > base
+
+    def test_count_saturates_at_one(self):
+        params = self.params()
+        assert red_drop_probability(20_000, params, count=10_000) == 1.0
+
+    def test_byte_mode_scales_small_packets(self):
+        params = self.params(byte_mode=True, mean_pktsize=1000)
+        big = red_packet_drop_probability(20_000, params, -1, 1000)
+        small = red_packet_drop_probability(20_000, params, -1, 40)
+        assert small == pytest.approx(big * 0.04)
+
+    def test_byte_mode_leaves_forced_drops(self):
+        params = self.params(byte_mode=True, gentle=False)
+        assert red_packet_drop_probability(35_000, params, -1, 40) == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            REDParams(min_th=10, max_th=5).validate()
+        with pytest.raises(ValueError):
+            REDParams(max_p=0.0).validate()
+        with pytest.raises(ValueError):
+            REDParams(weight=2.0).validate()
+
+
+class TestREDQueue:
+    def make(self, seed=1, **kw):
+        params = REDParams(min_th=5_000, max_th=15_000, max_p=0.5,
+                           weight=0.5, byte_mode=False, **kw)
+        return REDQueue(limit_bytes=20_000, params=params,
+                        rng=random.Random(seed))
+
+    def test_no_drops_while_average_low(self):
+        q = self.make()
+        for _ in range(4):
+            accepted, _, _ = q.offer(pkt(), 0.0)
+            assert accepted
+
+    def test_hard_limit_always_enforced(self):
+        q = self.make()
+        accepted_total = 0
+        for _ in range(40):
+            accepted, _, _ = q.offer(pkt(), 0.0)
+            accepted_total += accepted
+        assert q.occupancy <= q.limit_bytes
+
+    def test_early_drops_happen_under_sustained_load(self):
+        q = self.make()
+        outcomes = [q.offer(pkt(), i * 0.001)[0] for i in range(60)]
+        # pop a little so the hard limit is not the only dropper
+        assert q.drops > 0
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            q = self.make(seed=seed)
+            results = []
+            for i in range(50):
+                results.append(q.offer(pkt(), i * 0.001)[0])
+                if i % 3 == 0:
+                    q.pop(i * 0.001)
+            return results
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_average_decays_when_idle(self):
+        q = self.make()
+        for i in range(10):
+            q.offer(pkt(), 0.0)
+        for _ in range(len(q)):
+            q.pop(0.001)
+        avg_before = q.avg
+        q.update_average(5.0)  # long idle
+        assert q.avg < avg_before
+
+    def test_average_follows_occupancy(self):
+        q = self.make()
+        for i in range(8):
+            q.offer(pkt(), 0.0)
+        assert q.avg > 0

@@ -1,0 +1,169 @@
+"""Unit tests for set reconciliation (Appendix A) and Bloom filters."""
+
+import random
+
+import pytest
+
+from repro.dist.reconcile import (
+    P,
+    BloomFilter,
+    CharacteristicPolynomialSet,
+    ReconciliationError,
+    _to_field,
+    bloom_difference_estimate,
+    poly_divmod,
+    poly_eval,
+    poly_gcd,
+    poly_mul,
+    poly_powmod,
+    reconcile,
+)
+
+
+class TestPolynomialArithmetic:
+    def test_mul_degree(self):
+        # (1 + z)(2 + z) = 2 + 3z + z^2
+        assert poly_mul([1, 1], [2, 1]) == [2, 3, 1]
+
+    def test_eval_horner(self):
+        poly = [5, 0, 1]  # 5 + z^2
+        assert poly_eval(poly, 3) == 14
+
+    def test_divmod_roundtrip(self):
+        a = [3, 1, 4, 1, 5]
+        b = [2, 7, 1]
+        q, r = poly_divmod(a, b)
+        recomposed = [
+            (x + y) % P
+            for x, y in zip(
+                poly_mul(q, b) + [0] * 10, (r + [0] * 10)
+            )
+        ][:len(a)]
+        assert recomposed == a
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod([1, 2], [0])
+
+    def test_gcd_of_common_factor(self):
+        # (z - 5)(z - 7) and (z - 5)(z - 11) share (z - 5)
+        a = poly_mul([(-5) % P, 1], [(-7) % P, 1])
+        b = poly_mul([(-5) % P, 1], [(-11) % P, 1])
+        g = poly_gcd(a, b)
+        assert g == [(-5) % P, 1]
+
+    def test_powmod_fermat(self):
+        # z^P mod (z - a) == a^P == a (Fermat) for any a
+        a = 12345
+        modulus = [(-a) % P, 1]
+        result = poly_powmod([0, 1], P, modulus)
+        assert result == [a]
+
+
+class TestReconciliation:
+    def roundtrip(self, a_only, b_only, common, max_diff, seed=0):
+        set_a = set(common) | set(a_only)
+        set_b = set(common) | set(b_only)
+        message = CharacteristicPolynomialSet.from_set(set_a, max_diff)
+        remote_only, local_only = reconcile(set_b, message, max_diff,
+                                            seed=seed)
+        assert remote_only == {_to_field(x) for x in a_only}
+        assert local_only == set(b_only)
+
+    def test_small_difference(self):
+        self.roundtrip(a_only={1, 2}, b_only={100}, common=set(range(500, 550)),
+                       max_diff=5)
+
+    def test_equal_sets(self):
+        self.roundtrip(a_only=set(), b_only=set(), common={1, 2, 3},
+                       max_diff=4)
+
+    def test_one_sided_difference(self):
+        self.roundtrip(a_only={11, 12, 13}, b_only=set(),
+                       common=set(range(20, 40)), max_diff=3)
+
+    def test_other_sided_difference(self):
+        self.roundtrip(a_only=set(), b_only={7, 8}, common={1, 2, 3},
+                       max_diff=4)
+
+    def test_difference_at_exact_bound(self):
+        self.roundtrip(a_only={1, 2, 3}, b_only={4, 5}, common={99},
+                       max_diff=5)
+
+    def test_difference_beyond_bound_raises(self):
+        set_a = set(range(100))
+        set_b = set(range(50, 160))
+        message = CharacteristicPolynomialSet.from_set(set_a, max_diff=4)
+        with pytest.raises(ReconciliationError):
+            reconcile(set_b, message, max_diff=4)
+
+    def test_64bit_fingerprints(self):
+        rng = random.Random(5)
+        common = {rng.getrandbits(64) for _ in range(200)}
+        a_only = {rng.getrandbits(64) for _ in range(3)}
+        b_only = {rng.getrandbits(64) for _ in range(2)}
+        self.roundtrip(a_only=a_only - common, b_only=b_only - common,
+                       common=common, max_diff=8)
+
+    def test_message_size_is_max_diff_plus_one(self):
+        message = CharacteristicPolynomialSet.from_set(set(range(1000)),
+                                                       max_diff=10)
+        assert len(message.evaluations) == 11  # independent of |set|
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bloom = BloomFilter(bits=4096, hashes=4)
+        for x in range(100):
+            bloom.add(x)
+        assert all(x in bloom for x in range(100))
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(bits=8192, hashes=4)
+        for x in range(200):
+            bloom.add(x)
+        fps = sum(1 for x in range(10_000, 20_000) if x in bloom)
+        assert fps / 10_000 < 0.02
+
+    def test_cardinality_estimate(self):
+        bloom = BloomFilter(bits=8192, hashes=4)
+        for x in range(300):
+            bloom.add(x)
+        assert bloom.estimated_cardinality() == pytest.approx(300, rel=0.1)
+
+    def test_difference_estimate(self):
+        a = BloomFilter(bits=16384, hashes=4)
+        b = BloomFilter(bits=16384, hashes=4)
+        for x in range(400):
+            a.add(x)
+            b.add(x)
+        for x in range(1000, 1050):
+            a.add(x)
+        estimate = bloom_difference_estimate(a, b)
+        assert estimate == pytest.approx(50, rel=0.35)
+
+    def test_identical_filters_estimate_zero(self):
+        a = BloomFilter(bits=4096, hashes=3)
+        b = BloomFilter(bits=4096, hashes=3)
+        for x in range(100):
+            a.add(x)
+            b.add(x)
+        assert bloom_difference_estimate(a, b) < 5
+
+    def test_saturated_filter_degrades(self):
+        """The §2.4.1 caveat: a too-small filter gives junk estimates."""
+        a = BloomFilter(bits=64, hashes=4)
+        for x in range(500):
+            a.add(x)
+        assert a.estimated_cardinality() == float("inf") or \
+            a.estimated_cardinality() > 0
+
+    def test_incompatible_filters_rejected(self):
+        a = BloomFilter(bits=64, hashes=2)
+        b = BloomFilter(bits=128, hashes=2)
+        with pytest.raises(ValueError):
+            bloom_difference_estimate(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=0)

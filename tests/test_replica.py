@@ -1,0 +1,123 @@
+"""Tests for the §2.3 centralized active-replication detector."""
+
+import random
+
+import pytest
+
+from repro.core.replica import ReplicaDetector
+from repro.net.adversary import (
+    DelayAttack,
+    DropFlowAttack,
+    FabricateAttack,
+    ModifyAttack,
+    ReorderAttack,
+)
+from repro.net.queues import DropTailQueue, REDParams, REDQueue
+from repro.net.router import Network
+from repro.net.routing import install_static_routes
+from repro.net.topology import MBPS, Topology, chain
+from repro.net.traffic import CBRSource, PoissonSource
+
+
+def droptail_net():
+    net = Network(chain(3, bandwidth=2 * MBPS, delay=0.001))
+    install_static_routes(net)
+    detector = ReplicaDetector(net, "r2")
+    net.add_tap(detector)
+    return net, detector
+
+
+class TestDropTailReplica:
+    def test_correct_router_matches_exactly(self):
+        net, detector = droptail_net()
+        CBRSource(net, "r1", "r3", "f", rate_bps=1_500_000, duration=2.0)
+        net.run(4.0)
+        assert detector.compare() == []
+        assert not detector.alarmed()
+
+    def test_correct_router_matches_under_congestion(self):
+        """Benign queue overflow is *predicted*, not alarmed."""
+        topo = Topology("t")
+        topo.add_link("s", "r", bandwidth=20 * MBPS, delay=0.001)
+        topo.add_link("r", "d", bandwidth=1 * MBPS, delay=0.001,
+                      queue_limit=8_000)
+        net = Network(topo)
+        install_static_routes(net)
+        detector = ReplicaDetector(net, "r")
+        net.add_tap(detector)
+        PoissonSource(net, "s", "d", "f", rate_pps=200, duration=3.0, seed=1)
+        net.run(6.0)
+        queue = net.routers["r"].interfaces["d"].queue
+        assert queue.drops > 0  # congestion happened
+        assert detector.compare() == []
+
+    def test_dropper_caught(self):
+        net, detector = droptail_net()
+        net.routers["r2"].compromise = DropFlowAttack(["f"], fraction=0.3,
+                                                      seed=1)
+        CBRSource(net, "r1", "r3", "f", rate_bps=1_000_000, duration=2.0)
+        net.run(4.0)
+        kinds = {d.kind for d in detector.compare()}
+        assert "missing" in kinds
+
+    def test_modifier_caught_both_ways(self):
+        net, detector = droptail_net()
+        net.routers["r2"].compromise = ModifyAttack(fraction=0.3, seed=1)
+        CBRSource(net, "r1", "r3", "f", rate_bps=1_000_000, duration=2.0)
+        net.run(4.0)
+        kinds = {d.kind for d in detector.compare()}
+        assert kinds >= {"missing", "unexpected"}
+
+    def test_delayer_caught(self):
+        net, detector = droptail_net()
+        net.routers["r2"].compromise = DelayAttack(0.5, flows=["f"])
+        CBRSource(net, "r1", "r3", "f", rate_bps=500_000, duration=1.0)
+        net.run(1.4)  # replica expects outputs the router has not sent yet
+        assert any(d.kind == "missing" for d in detector.compare())
+
+    def test_fabricator_caught(self):
+        net, detector = droptail_net()
+        attack = FabricateAttack(net, "r2", "r3", forged_src="r1",
+                                 forged_dst="r3", flow_id="forged",
+                                 rate_pps=20)
+        net.routers["r2"].compromise = attack
+        attack.start(0.0)
+        CBRSource(net, "r1", "r3", "f", rate_bps=500_000, duration=2.0)
+        net.run(4.0)
+        assert any(d.kind == "unexpected" for d in detector.compare())
+
+
+class TestREDReplicaNondeterminism:
+    """§2.3: the replica must share the randomization source."""
+
+    def build(self, shared_seed):
+        params = REDParams(min_th=4_000, max_th=12_000, max_p=0.2,
+                           weight=0.02, byte_mode=False)
+        topo = Topology("t")
+        topo.add_link("s", "r", bandwidth=20 * MBPS, delay=0.001)
+        topo.add_link("r", "d", bandwidth=1 * MBPS, delay=0.001,
+                      queue_limit=20_000)
+
+        def qf(link):
+            if link.src == "r" and link.dst == "d":
+                return REDQueue(link.queue_limit, params=params,
+                                rng=random.Random(42))
+            return DropTailQueue(link.queue_limit)
+
+        net = Network(topo, queue_factory=qf)
+        install_static_routes(net)
+        seeds = {("r", "d"): 42} if shared_seed else None
+        detector = ReplicaDetector(net, "r", red_seeds=seeds)
+        net.add_tap(detector)
+        PoissonSource(net, "s", "d", "f", rate_pps=160, duration=5.0,
+                      seed=9)
+        net.run(8.0)
+        return detector
+
+    def test_shared_rng_is_exact(self):
+        detector = self.build(shared_seed=True)
+        assert detector.compare() == []
+
+    def test_divergent_rng_false_alarms_on_correct_router(self):
+        detector = self.build(shared_seed=False)
+        assert len(detector.compare()) > 10

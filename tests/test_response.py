@@ -1,0 +1,34 @@
+"""Tests for the §2.4.3 response-strategy comparison."""
+
+import pytest
+
+from repro.eval.experiments import response_strategy_ablation
+
+
+class TestResponseStrategies:
+    def test_segment_exclusion_keeps_reachability(self):
+        results = response_strategy_ablation()
+        assert results["segment"].unreachable_pairs == 0
+
+    def test_router_removal_disconnects_pairs(self):
+        results = response_strategy_ablation()
+        # Removing the suspected router cuts off everything it terminates.
+        assert results["router"].unreachable_pairs > 0
+
+    def test_segment_exclusion_less_disruptive(self):
+        """§2.4.3: the paper chose segment exclusion 'because of its less
+        disruptive behavior'."""
+        results = response_strategy_ablation()
+        seg, router = results["segment"], results["router"]
+        assert seg.unreachable_pairs <= router.unreachable_pairs
+        assert seg.mean_stretch <= router.mean_stretch + 1e-9
+
+    def test_stretch_is_bounded(self):
+        results = response_strategy_ablation()
+        assert results["segment"].mean_stretch < 2.0
+
+    def test_single_link_suspicion(self):
+        results = response_strategy_ablation(
+            suspicions=(("Denver", "KansasCity"),))
+        assert results["segment"].unreachable_pairs == 0
+        assert results["segment"].mean_stretch >= 1.0

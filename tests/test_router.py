@@ -1,0 +1,230 @@
+"""Unit tests for routers, interfaces, taps and the network assembly."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.queues import DropReason
+from repro.net.router import ForwardAction, MonitorTap, Network
+from repro.net.routing import install_static_routes
+from repro.net.topology import MBPS, Topology, chain, diamond
+
+
+class RecordingTap(MonitorTap):
+    def __init__(self):
+        self.events = []
+
+    def on_receive(self, router, from_nbr, packet, time):
+        self.events.append(("receive", router.name, from_nbr, packet.uid, time))
+
+    def on_enqueue(self, router, out_nbr, packet, time, occupancy):
+        self.events.append(("enqueue", router.name, out_nbr, packet.uid, time))
+
+    def on_transmit(self, router, out_nbr, packet, time):
+        self.events.append(("transmit", router.name, out_nbr, packet.uid, time))
+
+    def on_drop(self, router, out_nbr, packet, time, reason, drop_prob):
+        self.events.append(("drop", router.name, out_nbr, packet.uid, reason))
+
+    def on_deliver(self, router, packet, time):
+        self.events.append(("deliver", router.name, packet.uid, time))
+
+    def on_originate(self, router, packet, time):
+        self.events.append(("originate", router.name, packet.uid, time))
+
+    def of_kind(self, kind):
+        return [e for e in self.events if e[0] == kind]
+
+
+def small_net(n=3, **kw):
+    topo = chain(n, bandwidth=10 * MBPS, delay=0.001)
+    net = Network(topo, **kw)
+    install_static_routes(net)
+    return net
+
+
+class TestForwarding:
+    def test_end_to_end_delivery(self):
+        net = small_net(4)
+        delivered = []
+        net.routers["r4"].register_flow("f", lambda p, t: delivered.append(p))
+        packet = Packet(src="r1", dst="r4", flow_id="f")
+        net.routers["r1"].originate(packet)
+        net.run(1.0)
+        assert [p.uid for p in delivered] == [packet.uid]
+
+    def test_ttl_decremented_per_hop(self):
+        net = small_net(4)
+        got = []
+        net.routers["r4"].register_flow("f", lambda p, t: got.append(p))
+        net.routers["r1"].originate(Packet(src="r1", dst="r4", flow_id="f",
+                                           ttl=10))
+        net.run(1.0)
+        # Every forwarding router decrements: r1 (origin), r2 and r3.
+        assert got[0].ttl == 7
+
+    def test_expired_ttl_dropped(self):
+        net = small_net(4)
+        tap = RecordingTap()
+        net.add_tap(tap)
+        net.routers["r1"].originate(Packet(src="r1", dst="r4", flow_id="f",
+                                           ttl=1))
+        net.run(1.0)
+        drops = tap.of_kind("drop")
+        assert len(drops) == 1
+        assert drops[0][4] is DropReason.TTL_EXPIRED
+
+    def test_local_delivery_without_forwarding(self):
+        net = small_net(3)
+        got = []
+        net.routers["r1"].register_flow("f", lambda p, t: got.append(p))
+        net.routers["r1"].originate(Packet(src="r1", dst="r1", flow_id="f"))
+        net.run(0.1)
+        assert len(got) == 1
+
+    def test_no_route_drops(self):
+        topo = chain(3)
+        net = Network(topo)  # no routes installed
+        tap = RecordingTap()
+        net.add_tap(tap)
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f"))
+        net.run(0.1)
+        assert tap.of_kind("drop")
+
+    def test_latency_matches_links(self):
+        net = small_net(3)
+        times = []
+        net.routers["r3"].register_flow("f", lambda p, t: times.append(t))
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f",
+                                           size=1000))
+        net.run(1.0)
+        # two hops: 2 * (transmission 1000B@10Mbps = 0.8ms + 1ms prop)
+        assert times[0] == pytest.approx(2 * (0.0008 + 0.001), abs=1e-6)
+
+
+class TestTaps:
+    def test_event_sequence_for_transit(self):
+        net = small_net(3)
+        tap = RecordingTap()
+        net.add_tap(tap)
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f"))
+        net.run(1.0)
+        kinds = [e[0] for e in tap.events]
+        assert kinds == [
+            "originate",
+            "enqueue", "transmit",  # at r1
+            "receive", "enqueue", "transmit",  # at r2
+            "receive", "deliver",  # at r3
+        ]
+
+    def test_remove_tap(self):
+        net = small_net(3)
+        tap = RecordingTap()
+        net.add_tap(tap)
+        net.remove_tap(tap)
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f"))
+        net.run(1.0)
+        assert tap.events == []
+
+
+class TestPolicyRouting:
+    def test_policy_table_overrides_destination_table(self):
+        net = Network(diamond())
+        install_static_routes(net)
+        router = net.routers["s"]
+        default_hop = router.next_hop(Packet(src="s", dst="t"))
+        other = "b" if default_hop == "a" else "a"
+        router.policy_table[("s", "t")] = [other]
+        assert router.next_hop(Packet(src="s", dst="t")) == other
+
+    def test_policy_only_matches_exact_pair(self):
+        net = Network(diamond())
+        install_static_routes(net)
+        router = net.routers["s"]
+        router.policy_table[("x", "t")] = ["b"]
+        packet = Packet(src="s", dst="t")
+        assert router.next_hop(packet) == \
+            router.forwarding_table["t"][0]
+
+    def test_ecmp_choice_is_deterministic(self):
+        net = Network(diamond())
+        install_static_routes(net)
+        router = net.routers["s"]
+        router.forwarding_table["t"] = ["a", "b"]
+        packet = Packet(src="s", dst="t", flow_id="flow-x")
+        hops = {router.next_hop(packet) for _ in range(10)}
+        assert len(hops) == 1
+
+    def test_ecmp_spreads_flows(self):
+        net = Network(diamond())
+        install_static_routes(net)
+        router = net.routers["s"]
+        router.forwarding_table["t"] = ["a", "b"]
+        chosen = {
+            router.next_hop(Packet(src="s", dst="t", flow_id=f"f{i}"))
+            for i in range(50)
+        }
+        assert chosen == {"a", "b"}
+
+
+class TestCompromiseHook:
+    def test_drop_action(self):
+        from repro.net.adversary import DropAllAttack
+        net = small_net(3)
+        tap = RecordingTap()
+        net.add_tap(tap)
+        net.routers["r2"].compromise = DropAllAttack()
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f"))
+        net.run(1.0)
+        drops = tap.of_kind("drop")
+        assert len(drops) == 1
+        assert drops[0][1] == "r2"
+        assert drops[0][4] is DropReason.MALICIOUS
+
+    def test_originating_router_not_intercepted(self):
+        """Terminal routers are assumed good w.r.t. their own traffic."""
+        from repro.net.adversary import DropAllAttack
+        net = small_net(3)
+        got = []
+        net.routers["r3"].register_flow("f", lambda p, t: got.append(p))
+        net.routers["r1"].compromise = DropAllAttack()
+        net.routers["r1"].originate(Packet(src="r1", dst="r3", flow_id="f"))
+        net.run(1.0)
+        assert len(got) == 1
+
+    def test_fabricated_injection(self):
+        net = small_net(3)
+        got = []
+        net.routers["r3"].register_flow("forged", lambda p, t: got.append(p))
+        packet = Packet(src="r1", dst="r3", flow_id="forged")
+        net.routers["r2"].inject_fabricated(packet, "r3")
+        net.run(1.0)
+        assert len(got) == 1
+        assert got[0].fabricated_by == "r2"
+
+
+class TestSerialization:
+    def test_queue_drains_at_link_rate(self):
+        topo = chain(2, bandwidth=1 * MBPS, delay=0.0)
+        net = Network(topo)
+        install_static_routes(net)
+        times = []
+        net.routers["r2"].register_flow("f", lambda p, t: times.append(t))
+        for i in range(3):
+            net.routers["r1"].originate(
+                Packet(src="r1", dst="r2", flow_id="f", seq=i, size=1000)
+            )
+        net.run(1.0)
+        # back-to-back transmissions: 8 ms apart at 1 Mbps
+        assert times[1] - times[0] == pytest.approx(0.008, abs=1e-6)
+        assert times[2] - times[1] == pytest.approx(0.008, abs=1e-6)
+
+    def test_proc_jitter_bounded(self):
+        net = small_net(3, proc_jitter=0.002)
+        times = []
+        net.routers["r3"].register_flow("f", lambda p, t: times.append(t))
+        for i in range(20):
+            net.routers["r1"].originate(
+                Packet(src="r1", dst="r3", flow_id="f", seq=i)
+            )
+        net.run(2.0)
+        assert len(times) == 20

@@ -1,0 +1,171 @@
+"""Unit tests for routing: constrained SPF, static install, OSPF daemon."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.net.router import Network
+from repro.net.routing import (
+    LinkStateRouting,
+    compute_all_paths,
+    install_static_routes,
+    shortest_path_avoiding,
+)
+from repro.net.topology import MBPS, Topology, abilene, chain, diamond
+
+
+class TestShortestPathAvoiding:
+    def test_plain_shortest_path(self):
+        path = shortest_path_avoiding(chain(4), "r1", "r4")
+        assert path == ["r1", "r2", "r3", "r4"]
+
+    def test_unreachable_returns_none(self):
+        topo = Topology()
+        topo.add_router("a")
+        topo.add_router("b")
+        assert shortest_path_avoiding(topo, "a", "b") is None
+
+    def test_link_exclusion_forces_detour(self):
+        topo = diamond()
+        direct = shortest_path_avoiding(topo, "s", "t")
+        assert direct is not None
+        via = direct[1]
+        other = "b" if via == "a" else "a"
+        detour = shortest_path_avoiding(topo, "s", "t", [("s", via)])
+        assert detour == ["s", other, "t"]
+
+    def test_link_exclusion_can_disconnect(self):
+        topo = chain(3)
+        assert shortest_path_avoiding(topo, "r1", "r3",
+                                      [("r2", "r3")]) is None
+
+    def test_window_exclusion_reroutes(self):
+        topo = abilene()
+        seg = ("Denver", "KansasCity", "Indianapolis")
+        path = shortest_path_avoiding(topo, "Sunnyvale", "NewYork", [seg])
+        assert path is not None
+        joined = tuple(path)
+        for i in range(len(joined) - 2):
+            assert joined[i:i + 3] != seg
+
+    def test_window_exclusion_picks_next_best(self):
+        topo = abilene()
+        seg = ("Denver", "KansasCity", "Indianapolis")
+        path = shortest_path_avoiding(topo, "Sunnyvale", "NewYork", [seg])
+        delay = sum(topo.link(a, b).delay for a, b in zip(path, path[1:]))
+        assert delay == pytest.approx(0.028)
+
+    def test_window_exclusion_is_directional(self):
+        topo = chain(4)
+        seg = ("r2", "r3", "r4")
+        # Forward direction is blocked (and the chain has no alternative)...
+        assert shortest_path_avoiding(topo, "r1", "r4", [seg]) is None
+        # ...but the reverse direction is not this segment.
+        assert shortest_path_avoiding(topo, "r4", "r1", [seg]) == \
+            ["r4", "r3", "r2", "r1"]
+
+    def test_link_up_restriction(self):
+        topo = diamond()
+        up = {("s", "a"), ("a", "t"), ("a", "s"), ("t", "a")}
+        path = shortest_path_avoiding(topo, "s", "t", link_up=up)
+        assert path == ["s", "a", "t"]
+
+
+class TestStaticRoutes:
+    def test_tables_installed_for_all_pairs(self):
+        net = Network(chain(4))
+        install_static_routes(net)
+        for name, router in net.routers.items():
+            others = [r for r in net.topology.routers if r != name]
+            for dst in others:
+                assert dst in router.forwarding_table
+
+    def test_returned_paths_match_tables(self):
+        net = Network(abilene())
+        paths = install_static_routes(net)
+        for (src, dst), path in paths.items():
+            assert net.routers[src].forwarding_table[dst] == [path[1]]
+
+    def test_suspicion_installs_policy_entries(self):
+        net = Network(abilene())
+        seg = ("Denver", "KansasCity", "Indianapolis")
+        paths = install_static_routes(net, suspicions=[seg])
+        path = paths[("Sunnyvale", "NewYork")]
+        assert "KansasCity" not in path or tuple(path).count("KansasCity") == 0
+        # policy entries exist along the constrained path
+        for i, hop in enumerate(path[:-1]):
+            assert net.routers[hop].policy_table[("Sunnyvale", "NewYork")] \
+                == [path[i + 1]]
+
+
+class TestLinkStateDaemon:
+    def make(self, topo=None, **kw):
+        net = Network(topo or abilene())
+        defaults = dict(spf_delay=1.0, spf_hold=2.0, hello_interval=2.0,
+                        boot_spread=5.0, flood_hop_delay=0.01,
+                        lsa_refresh=4.0)
+        defaults.update(kw)
+        routing = LinkStateRouting(net, **defaults)
+        routing.start()
+        return net, routing
+
+    def test_converges(self):
+        net, routing = self.make()
+        net.run(40.0)
+        assert routing.all_converged()
+        assert routing.convergence_time() is not None
+
+    def test_tables_route_correctly_after_convergence(self):
+        net, routing = self.make()
+        net.run(40.0)
+        got = []
+        net.routers["NewYork"].register_flow("f", lambda p, t: got.append(p))
+        net.routers["Sunnyvale"].originate(
+            Packet(src="Sunnyvale", dst="NewYork", flow_id="f"))
+        net.run(41.0)
+        assert len(got) == 1
+
+    def test_alert_excludes_segment(self):
+        net, routing = self.make()
+        net.run(40.0)
+        seg = ("Denver", "KansasCity", "Indianapolis")
+        routing.announce_suspicion("Indianapolis", seg, (0.0, 40.0))
+        net.run(60.0)
+        # All daemons saw the alert.
+        for name in net.topology.routers:
+            assert seg in routing.state[name].suspicions
+        # Traffic now takes the 28 ms southern path.
+        times = []
+        net.routers["Sunnyvale"].register_flow(
+            "probe", lambda p, t: times.append(t))
+        start = net.sim.now
+        net.routers["Sunnyvale"].originate(
+            Packet(src="Sunnyvale", dst="Sunnyvale", flow_id="probe"))
+        got = []
+        net.routers["NewYork"].register_flow("f2", lambda p, t: got.append(t))
+        send_at = net.sim.now
+        net.routers["Sunnyvale"].originate(
+            Packet(src="Sunnyvale", dst="NewYork", flow_id="f2", size=100))
+        net.run(net.sim.now + 1.0)
+        assert got, "packet should still be deliverable"
+        assert got[0] - send_at > 0.027  # southern path latency
+
+    def test_spf_respects_delay_timer(self):
+        net, routing = self.make(spf_delay=3.0)
+        net.run(40.0)
+        runs_before = len(routing.spf_runs)
+        seg = ("Denver", "KansasCity", "Indianapolis")
+        t0 = net.sim.now
+        routing.announce_suspicion("Indianapolis", seg, (0.0, 40.0))
+        net.run(60.0)
+        new_runs = [t for t, _ in routing.spf_runs[runs_before:]]
+        assert new_runs
+        assert min(new_runs) >= t0 + 3.0
+
+    def test_alert_flood_reaches_everyone_once(self):
+        net, routing = self.make()
+        net.run(40.0)
+        routing.announce_suspicion("Denver", ("a", "b", "c"), (0.0, 1.0))
+        net.run(45.0)
+        seen = [name for name in net.topology.routers
+                if ("a", "b", "c") in routing.state[name].suspicions]
+        assert len(seen) == len(net.topology.routers)

@@ -1,0 +1,148 @@
+"""Unit tests for path-segment enumeration and P_r (§5.1/§5.2)."""
+
+import pytest
+
+from repro.core.segments import (
+    all_routing_paths,
+    enumerate_segments,
+    monitored_segments_pi2,
+    monitored_segments_pik2,
+    pik2_counter_count,
+    pr_statistics,
+    watchers_counter_count,
+)
+from repro.net.topology import abilene, chain, diamond, ebone_like
+
+
+class TestRoutingPaths:
+    def test_chain_paths(self):
+        paths = all_routing_paths(chain(3))
+        assert ("r1", "r2", "r3") in paths
+        assert ("r3", "r2", "r1") in paths
+        assert len(paths) == 6  # every ordered pair
+
+    def test_paths_are_shortest(self):
+        topo = abilene()
+        paths = {(p[0], p[-1]): p for p in all_routing_paths(topo)}
+        p = paths[("Sunnyvale", "NewYork")]
+        delay = sum(topo.link(a, b).delay for a, b in zip(p, p[1:]))
+        assert delay == pytest.approx(0.025)
+
+    def test_deterministic(self):
+        a = all_routing_paths(ebone_like())
+        b = all_routing_paths(ebone_like())
+        assert a == b
+
+    def test_one_path_per_pair(self):
+        paths = all_routing_paths(diamond())
+        pairs = [(p[0], p[-1]) for p in paths]
+        assert len(pairs) == len(set(pairs))
+
+
+class TestEnumerate:
+    def test_subsequences(self):
+        path = ("a", "b", "c", "d")
+        assert list(enumerate_segments(path, 3)) == [
+            ("a", "b", "c"), ("b", "c", "d")]
+
+    def test_full_length(self):
+        assert list(enumerate_segments(("a", "b"), 2)) == [("a", "b")]
+
+    def test_too_long_yields_nothing(self):
+        assert list(enumerate_segments(("a", "b"), 3)) == []
+
+
+class TestPi2Segments:
+    def test_chain_k1(self):
+        paths = all_routing_paths(chain(4))
+        by_router = monitored_segments_pi2(paths, k=1)
+        # 3-segments in both directions
+        assert ("r1", "r2", "r3") in by_router["r2"]
+        assert ("r3", "r2", "r1") in by_router["r2"]
+        # every member monitors (per path-segment *nodes*)
+        assert ("r1", "r2", "r3") in by_router["r1"]
+        assert ("r1", "r2", "r3") in by_router["r3"]
+
+    def test_short_paths_monitored_whole(self):
+        # k=3 wants 5-segments but the longest path in chain(4) has 4
+        # routers; the whole path (terminal-ended) is monitored instead.
+        paths = all_routing_paths(chain(4))
+        by_router = monitored_segments_pi2(paths, k=3)
+        assert ("r1", "r2", "r3", "r4") in by_router["r2"]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            monitored_segments_pi2([], k=0)
+
+    def test_monotone_in_k_until_saturation(self):
+        paths = all_routing_paths(ebone_like())
+        sizes = []
+        for k in (1, 2, 3):
+            stats = pr_statistics(monitored_segments_pi2(paths, k))
+            sizes.append(stats["mean"])
+        assert sizes[0] < sizes[1] <= sizes[2]
+
+
+class TestPik2Segments:
+    def test_only_ends_monitor(self):
+        paths = all_routing_paths(chain(5))
+        by_router = monitored_segments_pik2(paths, k=1)
+        seg = ("r1", "r2", "r3")
+        assert seg in by_router["r1"]
+        assert seg in by_router["r3"]
+        assert seg not in by_router.get("r2", set())
+
+    def test_all_lengths_up_to_k_plus_2(self):
+        paths = all_routing_paths(chain(6))
+        by_router = monitored_segments_pik2(paths, k=2)
+        lengths = {len(s) for s in by_router["r1"]}
+        assert lengths == {3, 4}
+
+    def test_pik2_much_smaller_than_pi2(self):
+        paths = all_routing_paths(ebone_like())
+        pi2 = pr_statistics(monitored_segments_pi2(paths, 2))
+        pik2 = pr_statistics(monitored_segments_pik2(paths, 2))
+        assert pik2["mean"] < pi2["mean"]
+        assert pik2["max"] < pi2["max"]
+
+
+class TestOverheadCounters:
+    def test_watchers_formula(self):
+        topo = chain(4)
+        counts = watchers_counter_count(topo)
+        # 7 counters x degree x N (N = 4)
+        assert counts["r1"] == 7 * 1 * 4
+        assert counts["r2"] == 7 * 2 * 4
+
+    def test_pik2_two_counters_per_segment(self):
+        topo = chain(5)
+        paths = all_routing_paths(topo)
+        by_router = monitored_segments_pik2(paths, k=1)
+        counts = pik2_counter_count(by_router, topo)
+        assert counts["r1"] == 2 * len(by_router["r1"])
+
+    def test_pik2_orders_of_magnitude_cheaper_than_watchers(self):
+        """The §5.2.1 comparison on a realistic topology."""
+        topo = ebone_like()
+        paths = all_routing_paths(topo)
+        watchers = watchers_counter_count(topo)
+        pik2 = pik2_counter_count(monitored_segments_pik2(paths, 2), topo)
+        watchers_mean = sum(watchers.values()) / len(watchers)
+        pik2_mean = sum(pik2.values()) / len(pik2)
+        assert pik2_mean < watchers_mean / 3
+
+
+class TestPrStatistics:
+    def test_stats_fields(self):
+        stats = pr_statistics({"a": {("x", "y")}, "b": set()})
+        assert stats["max"] == 1.0
+        assert stats["mean"] == 0.5
+
+    def test_routers_without_segments_counted(self):
+        stats = pr_statistics({"a": {("x", "y")}},
+                              all_routers=["a", "b", "c", "d"])
+        assert stats["mean"] == 0.25
+
+    def test_empty(self):
+        stats = pr_statistics({})
+        assert stats == {"max": 0, "mean": 0.0, "median": 0.0}

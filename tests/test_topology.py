@@ -1,0 +1,139 @@
+"""Unit tests for topologies and generators."""
+
+import pytest
+
+from repro.net.topology import (
+    MBPS,
+    Link,
+    Topology,
+    abilene,
+    chain,
+    diamond,
+    ebone_like,
+    sprintlink_like,
+)
+
+
+class TestTopologyBasics:
+    def test_add_link_creates_both_directions(self):
+        topo = Topology()
+        topo.add_link("a", "b")
+        assert topo.has_link("a", "b")
+        assert topo.has_link("b", "a")
+
+    def test_unidirectional_link(self):
+        topo = Topology()
+        topo.add_link("a", "b", bidirectional=False)
+        assert topo.has_link("a", "b")
+        assert not topo.has_link("b", "a")
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.add_link("a", "a")
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_link("a", "b")
+        with pytest.raises(ValueError):
+            topo.add_link("a", "b")
+
+    def test_missing_link_raises(self):
+        topo = chain(3)
+        with pytest.raises(KeyError):
+            topo.link("r1", "r3")
+
+    def test_default_metric_tracks_delay(self):
+        topo = Topology()
+        topo.add_link("a", "b", delay=0.005)
+        assert topo.link("a", "b").metric == pytest.approx(5.0)
+
+    def test_neighbors_and_degree(self):
+        topo = diamond()
+        assert sorted(topo.neighbors("s")) == ["a", "b"]
+        assert topo.degree("s") == 2
+
+    def test_undirected_link_count(self):
+        assert chain(4).undirected_link_count() == 3
+
+    def test_contains_and_len(self):
+        topo = chain(3)
+        assert "r1" in topo
+        assert "nope" not in topo
+        assert len(topo) == 3
+
+    def test_networkx_roundtrip(self):
+        graph = abilene().to_networkx()
+        assert graph.number_of_nodes() == 11
+        assert graph.number_of_edges() == 14
+
+    def test_transmission_delay(self):
+        link = Link("a", "b", bandwidth=1 * MBPS)
+        assert link.transmission_delay(1000) == pytest.approx(0.008)
+
+
+class TestCannedTopologies:
+    def test_chain_structure(self):
+        topo = chain(5)
+        assert len(topo) == 5
+        assert topo.has_link("r1", "r2")
+        assert not topo.has_link("r1", "r3")
+
+    def test_chain_needs_a_router(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+    def test_diamond_two_disjoint_paths(self):
+        topo = diamond()
+        assert topo.has_link("s", "a") and topo.has_link("a", "t")
+        assert topo.has_link("s", "b") and topo.has_link("b", "t")
+        assert not topo.has_link("a", "b")
+
+    def test_abilene_size(self):
+        topo = abilene()
+        assert len(topo) == 11
+        assert topo.undirected_link_count() == 14
+
+    def test_abilene_calibrated_delays(self):
+        """The Fig 5.7 calibration: 25 ms via Kansas City, 28 ms via LA."""
+        topo = abilene()
+        primary = ["Sunnyvale", "Denver", "KansasCity", "Indianapolis",
+                   "Chicago", "NewYork"]
+        alt = ["Sunnyvale", "LosAngeles", "Houston", "Atlanta",
+               "WashingtonDC", "NewYork"]
+        d1 = sum(topo.link(a, b).delay for a, b in zip(primary, primary[1:]))
+        d2 = sum(topo.link(a, b).delay for a, b in zip(alt, alt[1:]))
+        assert d1 == pytest.approx(0.025)
+        assert d2 == pytest.approx(0.028)
+
+
+class TestGeneratedTopologies:
+    def test_sprintlink_like_matches_rocketfuel_statistics(self):
+        topo = sprintlink_like()
+        assert len(topo) == 315
+        assert topo.undirected_link_count() == 972
+        mean_degree, max_degree = topo.degree_stats()
+        assert mean_degree == pytest.approx(2 * 972 / 315)
+        assert max_degree <= 45
+
+    def test_ebone_like_matches_rocketfuel_statistics(self):
+        topo = ebone_like()
+        assert len(topo) == 87
+        assert topo.undirected_link_count() == 161
+        _, max_degree = topo.degree_stats()
+        assert max_degree <= 11
+
+    def test_generated_topologies_connected(self):
+        assert sprintlink_like().is_connected()
+        assert ebone_like().is_connected()
+
+    def test_generator_deterministic(self):
+        a = sprintlink_like(seed=5)
+        b = sprintlink_like(seed=5)
+        assert sorted((l.src, l.dst) for l in a.links()) == \
+            sorted((l.src, l.dst) for l in b.links())
+
+    def test_generator_seed_changes_graph(self):
+        a = {(l.src, l.dst) for l in ebone_like(seed=1).links()}
+        b = {(l.src, l.dst) for l in ebone_like(seed=2).links()}
+        assert a != b

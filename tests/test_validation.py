@@ -1,0 +1,196 @@
+"""Unit tests for the conservation-of-traffic TV predicates (§4.2.1)."""
+
+import pytest
+
+from repro.core.summaries import SummaryPolicy, TrafficSummary
+from repro.core.validation import (
+    reorder_metric,
+    tv_content,
+    tv_flow,
+    tv_order,
+    tv_timeliness,
+    validate,
+)
+
+
+def summary(policy, fps=(), ordered=None, timestamps=None, count=None,
+            direction="sent"):
+    fps = tuple(fps)
+    if ordered is None and policy in (SummaryPolicy.ORDER,
+                                      SummaryPolicy.TIMELINESS):
+        ordered = fps
+    return TrafficSummary(
+        router="r", segment=("a", "b"), round_index=0, direction=direction,
+        policy=policy,
+        count=count if count is not None else len(fps),
+        byte_count=1000 * (count if count is not None else len(fps)),
+        fingerprints=(frozenset(fps) if policy is not SummaryPolicy.FLOW
+                      else None),
+        ordered=tuple(ordered) if ordered is not None else None,
+        timestamps=tuple(timestamps) if timestamps is not None else None,
+    )
+
+
+class TestFlow:
+    def test_equal_counts_pass(self):
+        up = summary(SummaryPolicy.FLOW, count=10)
+        down = summary(SummaryPolicy.FLOW, count=10)
+        assert tv_flow(up, down).ok
+
+    def test_loss_detected(self):
+        up = summary(SummaryPolicy.FLOW, count=10)
+        down = summary(SummaryPolicy.FLOW, count=4)
+        result = tv_flow(up, down)
+        assert not result.ok
+        assert result.missing == 6
+
+    def test_fabrication_detected(self):
+        up = summary(SummaryPolicy.FLOW, count=4)
+        down = summary(SummaryPolicy.FLOW, count=10)
+        result = tv_flow(up, down)
+        assert not result.ok
+        assert result.extra == 6
+
+    def test_threshold_absorbs_congestion(self):
+        up = summary(SummaryPolicy.FLOW, count=10)
+        down = summary(SummaryPolicy.FLOW, count=8)
+        assert tv_flow(up, down, threshold=2).ok
+        assert not tv_flow(up, down, threshold=1).ok
+
+    def test_flow_cannot_see_modification(self):
+        """The §2.4.1 fragility: counts hide a swap."""
+        up = summary(SummaryPolicy.FLOW, count=10)
+        down = summary(SummaryPolicy.FLOW, count=10)
+        assert tv_flow(up, down).ok  # even though contents could differ
+
+
+class TestContent:
+    def test_equal_sets_pass(self):
+        up = summary(SummaryPolicy.CONTENT, fps=(1, 2, 3))
+        down = summary(SummaryPolicy.CONTENT, fps=(3, 2, 1))
+        assert tv_content(up, down).ok
+
+    def test_loss_detected(self):
+        up = summary(SummaryPolicy.CONTENT, fps=(1, 2, 3))
+        down = summary(SummaryPolicy.CONTENT, fps=(1,))
+        result = tv_content(up, down)
+        assert not result.ok
+        assert result.missing == 2
+
+    def test_modification_counts_twice(self):
+        """A modified packet = one missing + one extra fingerprint."""
+        up = summary(SummaryPolicy.CONTENT, fps=(1, 2, 3))
+        down = summary(SummaryPolicy.CONTENT, fps=(1, 2, 99))
+        result = tv_content(up, down)
+        assert result.missing == 1
+        assert result.extra == 1
+        assert result.discrepancy == 2
+
+    def test_policy_mismatch_rejected(self):
+        up = summary(SummaryPolicy.FLOW, count=1)
+        down = summary(SummaryPolicy.CONTENT, fps=(1,))
+        with pytest.raises(ValueError):
+            tv_content(up, down)
+
+    def test_flow_policy_unsupported(self):
+        up = summary(SummaryPolicy.FLOW, count=1)
+        down = summary(SummaryPolicy.FLOW, count=1)
+        with pytest.raises(ValueError):
+            tv_content(up, down)
+
+
+class TestReorderMetric:
+    def test_identical_order_zero(self):
+        assert reorder_metric((1, 2, 3, 4), (1, 2, 3, 4)) == 0
+
+    def test_single_swap(self):
+        assert reorder_metric((1, 2, 3, 4), (1, 3, 2, 4)) == 1
+
+    def test_reversal_is_worst(self):
+        assert reorder_metric((1, 2, 3, 4), (4, 3, 2, 1)) == 3
+
+    def test_ignores_lost_packets(self):
+        # 2 was lost; the remaining order is intact.
+        assert reorder_metric((1, 2, 3, 4), (1, 3, 4)) == 0
+
+    def test_ignores_fabricated_packets(self):
+        assert reorder_metric((1, 2, 3), (1, 99, 2, 3)) == 0
+
+    def test_one_displaced_packet(self):
+        # 1 delayed behind three others: one packet out of place.
+        assert reorder_metric((1, 2, 3, 4), (2, 3, 4, 1)) == 1
+
+    def test_empty(self):
+        assert reorder_metric((), ()) == 0
+
+
+class TestOrder:
+    def test_in_order_passes(self):
+        up = summary(SummaryPolicy.ORDER, fps=(1, 2, 3))
+        down = summary(SummaryPolicy.ORDER, fps=(1, 2, 3))
+        assert tv_order(up, down).ok
+
+    def test_reordering_detected(self):
+        up = summary(SummaryPolicy.ORDER, fps=(1, 2, 3, 4),
+                     ordered=(1, 2, 3, 4))
+        down = summary(SummaryPolicy.ORDER, fps=(1, 2, 3, 4),
+                       ordered=(4, 1, 2, 3))
+        result = tv_order(up, down)
+        assert not result.ok
+        assert result.reordered == 1
+
+    def test_reorder_threshold(self):
+        up = summary(SummaryPolicy.ORDER, fps=(1, 2, 3, 4),
+                     ordered=(1, 2, 3, 4))
+        down = summary(SummaryPolicy.ORDER, fps=(1, 2, 3, 4),
+                       ordered=(2, 1, 3, 4))
+        assert tv_order(up, down, reorder_threshold=1).ok
+
+    def test_content_failure_propagates(self):
+        up = summary(SummaryPolicy.ORDER, fps=(1, 2, 3), ordered=(1, 2, 3))
+        down = summary(SummaryPolicy.ORDER, fps=(1, 2), ordered=(1, 2))
+        assert not tv_order(up, down).ok
+
+
+class TestTimeliness:
+    def ts(self, *pairs):
+        return tuple(pairs)
+
+    def test_on_time_passes(self):
+        up = summary(SummaryPolicy.TIMELINESS, fps=(1, 2),
+                     timestamps=self.ts((1, 0.0), (2, 0.1)))
+        down = summary(SummaryPolicy.TIMELINESS, fps=(1, 2),
+                       timestamps=self.ts((1, 0.01), (2, 0.11)))
+        assert tv_timeliness(up, down, max_delay=0.05).ok
+
+    def test_delay_detected(self):
+        up = summary(SummaryPolicy.TIMELINESS, fps=(1, 2),
+                     timestamps=self.ts((1, 0.0), (2, 0.1)))
+        down = summary(SummaryPolicy.TIMELINESS, fps=(1, 2),
+                       timestamps=self.ts((1, 0.5), (2, 0.11)))
+        result = tv_timeliness(up, down, max_delay=0.05)
+        assert not result.ok
+        assert result.delayed == 1
+
+    def test_delayed_threshold(self):
+        up = summary(SummaryPolicy.TIMELINESS, fps=(1,),
+                     timestamps=self.ts((1, 0.0)))
+        down = summary(SummaryPolicy.TIMELINESS, fps=(1,),
+                       timestamps=self.ts((1, 0.5)))
+        assert tv_timeliness(up, down, max_delay=0.05,
+                             delayed_threshold=1).ok
+
+
+class TestDispatch:
+    def test_validate_routes_by_policy(self):
+        up = summary(SummaryPolicy.CONTENT, fps=(1, 2))
+        down = summary(SummaryPolicy.CONTENT, fps=(1, 2))
+        assert validate(up, down).ok
+
+    def test_timeliness_requires_max_delay(self):
+        up = summary(SummaryPolicy.TIMELINESS, fps=(1,),
+                     timestamps=((1, 0.0),))
+        down = summary(SummaryPolicy.TIMELINESS, fps=(1,),
+                       timestamps=((1, 0.0),))
+        with pytest.raises(ValueError):
+            validate(up, down)
