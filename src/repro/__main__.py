@@ -3,112 +3,28 @@
     python -m repro list                 # what can be run
     python -m repro run fig5_7           # one experiment
     python -m repro run fig6_5 fig6_6    # several
+    python -m repro run fig6_6 --seed 3  # at a non-default seed
     python -m repro run all              # everything (minutes)
+    python -m repro sweep fig6_6 --seeds 8 --jobs 4 --out /tmp/sweep
 
-Each experiment prints the same series its bench writes to
+``run`` prints the same series its bench writes to
 ``benchmarks/results/`` (see EXPERIMENTS.md for the paper-vs-measured
-reading guide).
+reading guide); ``sweep`` Monte-Carlos an experiment across derived
+seeds/parameter grids with caching and JSON/CSV artifacts (see the
+"Sweeps" section of EXPERIMENTS.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
-
-
-def _scenario_report(result) -> List[str]:
-    return [
-        f"detected: {result.detected}",
-        f"detection latency (rounds): {result.metrics.detection_latency_rounds}",
-        f"false positive rounds: {result.metrics.false_positive_rounds}",
-        f"drops: {result.total_drops} total, {result.congestive_drops} "
-        f"congestive, {result.malicious_drops_truth} truly malicious",
-    ]
-
-
-def _pr_report(curve) -> List[str]:
-    lines = [f"topology={curve.topology} protocol={curve.protocol}",
-             "k  max  mean  median"]
-    lines += [f"{k}  {mx:.0f}  {mean:.1f}  {med:.1f}"
-              for k, mx, mean, med in curve.rows()]
-    return lines
-
-
-def _build_registry() -> Dict[str, Callable[[], List[str]]]:
-    from repro.eval import experiments as ex
-
-    def fatih() -> List[str]:
-        r = ex.fig5_7_fatih()
-        return [
-            f"convergence: {r.convergence_time:.1f} s",
-            f"attack at {r.attack_time:.1f} s, detected at "
-            f"{r.first_detection:.1f} s, rerouted at {r.reroute_time:.1f} s",
-            f"RTT {1000 * r.rtt_before:.1f} -> {1000 * r.rtt_after:.1f} ms",
-            "suspected: " + "; ".join(" -> ".join(s)
-                                      for s in r.suspected_segments),
-        ]
-
-    def threshold() -> List[str]:
-        t = ex.chi_vs_static_threshold()
-        lines = [f"benign max losses {t.benign_max_losses}; "
-                 f"malicious total {t.total_malicious_drops}"]
-        for th in t.thresholds:
-            lines.append(
-                f"  T={th:3d}: fp={t.static_fp_rounds[th]:3d} "
-                f"detected={t.static_detected[th]!s:5s} "
-                f"free drops={t.static_free_drops[th]}")
-        lines.append(f"  chi: fp={t.chi_fp_rounds} "
-                     f"detected={t.chi_detected}")
-        return lines
-
-    def response() -> List[str]:
-        res = ex.response_strategy_ablation()
-        return [f"{k}: unreachable={v.unreachable_pairs} "
-                f"mean stretch={v.mean_stretch:.3f}"
-                for k, v in res.items()]
-
-    def ns() -> List[str]:
-        return [f"rate {p.drop_rate:.2f}: detected={p.detected} "
-                f"latency={p.detection_latency_rounds} "
-                f"fp={p.false_positive_rounds}"
-                for p in ex.fig6_3_ns_simulation()]
-
-    def overhead() -> List[str]:
-        return ex.state_overhead().rows()
-
-    def demos() -> List[str]:
-        out = []
-        for demo in (ex.watchers_flaw_demo(), ex.perlman_collusion_demo(),
-                     ex.sectrace_framing_demo(),
-                     ex.awerbuch_localization_demo()):
-            out.append(f"{demo.name}: {demo.values}")
-        return out
-
-    return {
-        "fig5_2": lambda: _pr_report(ex.fig5_2_pr_pi2("ebone")),
-        "fig5_4": lambda: _pr_report(ex.fig5_4_pr_pik2("ebone")),
-        "overhead": overhead,
-        "fig5_7": fatih,
-        "fig6_3": ns,
-        "fig6_5": lambda: _scenario_report(ex.fig6_5_no_attack()),
-        "fig6_6": lambda: _scenario_report(ex.fig6_6_attack1()),
-        "fig6_7": lambda: _scenario_report(ex.fig6_7_attack2()),
-        "fig6_8": lambda: _scenario_report(ex.fig6_8_attack3()),
-        "fig6_9": lambda: _scenario_report(ex.fig6_9_attack4()),
-        "fig6_11": lambda: _scenario_report(ex.fig6_11_red_no_attack()),
-        "fig6_12": lambda: _scenario_report(ex.fig6_12_red_attack1()),
-        "fig6_13": lambda: _scenario_report(ex.fig6_13_red_attack2()),
-        "fig6_14": lambda: _scenario_report(ex.fig6_14_red_attack3()),
-        "fig6_15": lambda: _scenario_report(ex.fig6_15_red_attack4()),
-        "fig6_16": lambda: _scenario_report(ex.fig6_16_red_attack5()),
-        "threshold": threshold,
-        "response": response,
-        "baselines": demos,
-    }
+from typing import List
 
 
 def main(argv: List[str]) -> int:
+    from repro.eval import registry
+    from repro.sweep.cli import add_sweep_parser, cmd_sweep
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's experiments.",
@@ -118,24 +34,39 @@ def main(argv: List[str]) -> int:
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument("names", nargs="+",
                      help="experiment names (or 'all')")
+    run.add_argument("--seed", type=int, default=None,
+                     help="random seed for experiments that accept one")
+    add_sweep_parser(sub)
     args = parser.parse_args(argv)
 
-    registry = _build_registry()
+    if args.command == "sweep":
+        return cmd_sweep(args)
+
     if args.command == "list":
-        for name in registry:
-            print(name)
+        width = max(len(name) for name in registry.names())
+        for name, spec in registry.registry().items():
+            seeded = " [seeded]" if spec.accepts_seed else ""
+            print(f"{name:<{width}}  {spec.description}{seeded}")
         return 0
 
-    names = list(registry) if "all" in args.names else args.names
-    unknown = [n for n in names if n not in registry]
+    names = (registry.names() if "all" in args.names else args.names)
+    unknown = [n for n in names if n not in registry.names()]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
-        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        print(f"available: {', '.join(registry.names())}", file=sys.stderr)
         return 2
     for name in names:
+        spec = registry.get(name)
+        params = {}
+        if args.seed is not None:
+            if spec.accepts_seed:
+                params["seed"] = args.seed
+            else:
+                print(f"note: {name} takes no seed parameter; "
+                      f"--seed ignored", file=sys.stderr)
         print(f"=== {name} ===")
-        for line in registry[name]():
+        for line in spec.report(spec.run(**params)):
             print(line)
         print()
     return 0

@@ -75,6 +75,19 @@ class PrCurve:
         return [(k, s["max"], s["mean"], s["median"])
                 for k, s in sorted(self.series.items())]
 
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "protocol": self.protocol,
+            "series": {str(k): dict(s) for k, s in sorted(self.series.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PrCurve":
+        return cls(topology=data["topology"], protocol=data["protocol"],
+                   series={int(k): dict(s)
+                           for k, s in data["series"].items()})
+
 
 def fig5_2_pr_pi2(topology: str = "sprintlink",
                   ks: Sequence[int] = range(1, 9)) -> PrCurve:
@@ -115,6 +128,15 @@ class StateOverheadResult:
                 f"max {stats['max']:.0f}"
             )
         return out
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "watchers_mean": self.watchers_mean,
+            "watchers_max": self.watchers_max,
+            "pik2_counters": {str(k): dict(s)
+                              for k, s in sorted(self.pik2_counters.items())},
+        }
 
 
 def state_overhead(topology: str = "sprintlink",
@@ -167,6 +189,20 @@ class FatihTimelineResult:
         if self.reroute_time is None:
             return None
         return self.reroute_time - self.attack_time
+
+    def to_dict(self) -> dict:
+        return {
+            "convergence_time": self.convergence_time,
+            "attack_time": self.attack_time,
+            "first_detection": self.first_detection,
+            "reroute_time": self.reroute_time,
+            "rtt_before": self.rtt_before,
+            "rtt_after": self.rtt_after,
+            "suspected_segments": [list(s) for s in self.suspected_segments],
+            "probes_lost": self.probes_lost,
+            "detection_latency": self.detection_latency,
+            "response_latency": self.response_latency,
+        }
 
 
 def fig5_7_fatih(
@@ -237,6 +273,14 @@ class ConfidenceCurve:
     sigma: float
     points: List[Tuple[float, float]]  # (q_pred, confidence)
 
+    def to_dict(self) -> dict:
+        return {
+            "q_limit": self.q_limit,
+            "mu": self.mu,
+            "sigma": self.sigma,
+            "points": [list(p) for p in self.points],
+        }
+
 
 def fig6_2_confidence_curve(q_limit: float = 30_000.0,
                             packet_size: float = 1_000.0,
@@ -276,6 +320,36 @@ class ScenarioResult:
     def false_positives(self) -> int:
         return self.metrics.false_positive_rounds
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metrics": self.metrics.to_dict(),
+            "total_drops": self.total_drops,
+            "congestive_drops": self.congestive_drops,
+            "malicious_drops_truth": self.malicious_drops_truth,
+            "candidate_drops": self.candidate_drops,
+            "rounds": [list(r) for r in self.rounds],
+            "malicious_by_round": {str(k): v for k, v
+                                   in sorted(self.malicious_by_round.items())},
+            "extra": dict(self.extra),
+            "detected": self.detected,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        return cls(
+            name=data["name"],
+            metrics=DetectionMetrics.from_dict(data["metrics"]),
+            total_drops=data["total_drops"],
+            congestive_drops=data["congestive_drops"],
+            malicious_drops_truth=data["malicious_drops_truth"],
+            candidate_drops=data["candidate_drops"],
+            rounds=[tuple(r) for r in data["rounds"]],
+            malicious_by_round={int(k): v for k, v
+                                in data["malicious_by_round"].items()},
+            extra=dict(data["extra"]),
+        )
+
 
 def _run_droptail(name: str, attack_factory, *,
                   learning_until: float = 20.0,
@@ -284,8 +358,10 @@ def _run_droptail(name: str, attack_factory, *,
                   end: float = 110.0,
                   with_connector: bool = False,
                   tau: float = 2.0,
+                  n_sources: int = 3,
                   seed: int = 0) -> ScenarioResult:
     scenario = build_droptail_scenario(tau=tau, seed=seed,
+                                       n_sources=n_sources,
                                        with_connector=with_connector)
     net = scenario.network
     chi = scenario.chi
@@ -333,47 +409,55 @@ def _run_droptail(name: str, attack_factory, *,
     return result
 
 
-def fig6_5_no_attack(seed: int = 0) -> ScenarioResult:
+def fig6_5_no_attack(seed: int = 0, tau: float = 2.0,
+                     n_sources: int = 3) -> ScenarioResult:
     """Fig 6.5: pure congestion — χ must stay silent."""
-    return _run_droptail("no-attack", None, seed=seed)
+    return _run_droptail("no-attack", None, seed=seed, tau=tau,
+                         n_sources=n_sources)
 
 
-def fig6_6_attack1(seed: int = 0) -> ScenarioResult:
+def fig6_6_attack1(seed: int = 0, fraction: float = 0.2, tau: float = 2.0,
+                   n_sources: int = 3) -> ScenarioResult:
     """Fig 6.6: drop 20% of the selected flow."""
     return _run_droptail(
         "attack1-drop20pct",
-        lambda s: DropFlowAttack(["tcp1"], fraction=0.2, seed=seed + 1),
-        seed=seed,
+        lambda s: DropFlowAttack(["tcp1"], fraction=fraction, seed=seed + 1),
+        seed=seed, tau=tau, n_sources=n_sources,
     )
 
 
-def fig6_7_attack2(seed: int = 0) -> ScenarioResult:
+def fig6_7_attack2(seed: int = 0, fill_threshold: float = 0.90,
+                   tau: float = 2.0, n_sources: int = 3) -> ScenarioResult:
     """Fig 6.7: drop the selected flow only when the queue is 90% full."""
     return _run_droptail(
         "attack2-queue90",
-        lambda s: QueueConditionalDropAttack(["tcp1"], fill_threshold=0.90,
+        lambda s: QueueConditionalDropAttack(["tcp1"],
+                                             fill_threshold=fill_threshold,
                                              seed=seed + 1),
-        seed=seed,
+        seed=seed, tau=tau, n_sources=n_sources,
     )
 
 
-def fig6_8_attack3(seed: int = 0) -> ScenarioResult:
+def fig6_8_attack3(seed: int = 0, fill_threshold: float = 0.95,
+                   tau: float = 2.0, n_sources: int = 3) -> ScenarioResult:
     """Fig 6.8: drop the selected flow only when the queue is 95% full."""
     return _run_droptail(
         "attack3-queue95",
-        lambda s: QueueConditionalDropAttack(["tcp1"], fill_threshold=0.95,
+        lambda s: QueueConditionalDropAttack(["tcp1"],
+                                             fill_threshold=fill_threshold,
                                              seed=seed + 1),
-        seed=seed,
+        seed=seed, tau=tau, n_sources=n_sources,
     )
 
 
-def fig6_9_attack4(seed: int = 0) -> ScenarioResult:
+def fig6_9_attack4(seed: int = 0, tau: float = 2.0,
+                   n_sources: int = 3) -> ScenarioResult:
     """Fig 6.9: SYN-drop a host trying to open connections."""
     return _run_droptail(
         "attack4-syn",
         lambda s: SynDropAttack("vsink", seed=seed + 1),
         with_connector=True,
-        seed=seed,
+        seed=seed, tau=tau, n_sources=n_sources,
     )
 
 
@@ -384,6 +468,15 @@ class NsSimPoint:
     detection_latency_rounds: Optional[int]
     false_positive_rounds: int
     malicious_drops: int
+
+    def to_dict(self) -> dict:
+        return {
+            "drop_rate": self.drop_rate,
+            "detected": self.detected,
+            "detection_latency_rounds": self.detection_latency_rounds,
+            "false_positive_rounds": self.false_positive_rounds,
+            "malicious_drops": self.malicious_drops,
+        }
 
 
 def fig6_3_ns_simulation(
@@ -434,6 +527,22 @@ class ThresholdComparison:
                 if self.static_fp_rounds[t] > 0
                 or not self.static_detected[t]
                 or self.static_free_drops[t] > 0]
+
+    def to_dict(self) -> dict:
+        return {
+            "thresholds": list(self.thresholds),
+            "static_fp_rounds": {str(k): v for k, v
+                                 in self.static_fp_rounds.items()},
+            "static_detected": {str(k): v for k, v
+                                in self.static_detected.items()},
+            "static_free_drops": {str(k): v for k, v
+                                  in self.static_free_drops.items()},
+            "chi_fp_rounds": self.chi_fp_rounds,
+            "chi_detected": self.chi_detected,
+            "total_malicious_drops": self.total_malicious_drops,
+            "benign_max_losses": self.benign_max_losses,
+            "attack_mean_losses": self.attack_mean_losses,
+        }
 
 
 def chi_vs_static_threshold(
@@ -529,54 +638,60 @@ def _run_red(name: str, attack_factory, *,
     return result
 
 
-def fig6_11_red_no_attack(seed: int = 0) -> ScenarioResult:
+def fig6_11_red_no_attack(seed: int = 0, tau: float = 5.0,
+                          n_sources: int = 8) -> ScenarioResult:
     """Fig 6.11: RED losses only — χ must stay silent."""
-    return _run_red("red-no-attack", None, seed=seed)
+    return _run_red("red-no-attack", None, seed=seed, tau=tau,
+                    n_sources=n_sources)
 
 
-def fig6_12_red_attack1(seed: int = 0) -> ScenarioResult:
+def fig6_12_red_attack1(seed: int = 0, avg_threshold: float = 45_000,
+                        n_sources: int = 8) -> ScenarioResult:
     """Fig 6.12: drop the selected flows when avg queue > 45,000 bytes."""
     return _run_red(
         "red-attack1-45k",
         lambda s: REDAverageConditionalDropAttack(["tcp1", "tcp2"],
-                                                  avg_threshold=45_000,
+                                                  avg_threshold=avg_threshold,
                                                   seed=seed + 1),
-        seed=seed,
+        seed=seed, n_sources=n_sources,
     )
 
 
-def fig6_13_red_attack2(seed: int = 0) -> ScenarioResult:
+def fig6_13_red_attack2(seed: int = 0, avg_threshold: float = 54_000,
+                        n_sources: int = 12) -> ScenarioResult:
     """Fig 6.13: drop the selected flows when avg queue > 54,000 bytes."""
     return _run_red(
         "red-attack2-54k",
         lambda s: REDAverageConditionalDropAttack(["tcp1", "tcp2"],
-                                                  avg_threshold=54_000,
+                                                  avg_threshold=avg_threshold,
                                                   seed=seed + 1),
-        n_sources=12, end=600.0, monitor_rounds=(1, 119),
+        n_sources=n_sources, end=600.0, monitor_rounds=(1, 119),
         seed=seed,
     )
 
 
-def fig6_14_red_attack3(seed: int = 0) -> ScenarioResult:
+def fig6_14_red_attack3(seed: int = 0, fraction: float = 0.10,
+                        avg_threshold: float = 45_000) -> ScenarioResult:
     """Fig 6.14: drop 10% of the selected flows above 45,000 bytes."""
     return _run_red(
         "red-attack3-10pct",
         lambda s: REDAverageConditionalDropAttack(["tcp1", "tcp2"],
-                                                  avg_threshold=45_000,
-                                                  fraction=0.10,
+                                                  avg_threshold=avg_threshold,
+                                                  fraction=fraction,
                                                   seed=seed + 1),
         end=500.0, monitor_rounds=(1, 99),
         seed=seed,
     )
 
 
-def fig6_15_red_attack4(seed: int = 0) -> ScenarioResult:
+def fig6_15_red_attack4(seed: int = 0, fraction: float = 0.05,
+                        avg_threshold: float = 45_000) -> ScenarioResult:
     """Fig 6.15: drop 5% of the selected flows above 45,000 bytes."""
     return _run_red(
         "red-attack4-5pct",
         lambda s: REDAverageConditionalDropAttack(["tcp1", "tcp2"],
-                                                  avg_threshold=45_000,
-                                                  fraction=0.05,
+                                                  avg_threshold=avg_threshold,
+                                                  fraction=fraction,
                                                   seed=seed + 1),
         end=700.0, monitor_rounds=(1, 139),
         seed=seed,
@@ -602,6 +717,19 @@ class BaselineDemo:
     name: str
     description: str
     values: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        def jsonable(value):
+            if isinstance(value, (list, tuple)):
+                return [jsonable(v) for v in value]
+            if isinstance(value, dict):
+                return {str(k): jsonable(v) for k, v in value.items()}
+            return value
+        return {
+            "name": self.name,
+            "description": self.description,
+            "values": {k: jsonable(v) for k, v in self.values.items()},
+        }
 
 
 def watchers_flaw_demo() -> BaselineDemo:
@@ -706,6 +834,13 @@ class ModelingComparison:
     observed_loss_rate: float
     relative_error: float
 
+    def to_dict(self) -> dict:
+        return {
+            "predicted_loss_prob": self.predicted_loss_prob,
+            "observed_loss_rate": self.observed_loss_rate,
+            "relative_error": self.relative_error,
+        }
+
 
 def traffic_modeling_comparison(seed: int = 0) -> ModelingComparison:
     """Compare Appenzeller-model loss predictions with simulated reality.
@@ -740,6 +875,14 @@ class ResponseImpact:
     unreachable_pairs: int
     mean_stretch: float  # constrained/unconstrained shortest-path cost
     max_stretch: float
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "unreachable_pairs": self.unreachable_pairs,
+            "mean_stretch": self.mean_stretch,
+            "max_stretch": self.max_stretch,
+        }
 
 
 def response_strategy_ablation(

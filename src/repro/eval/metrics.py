@@ -35,6 +35,30 @@ class DetectionMetrics:
             return 0.0
         return self.true_positive_rounds / self.attack_rounds
 
+    def to_dict(self) -> dict:
+        return {
+            "attack_rounds": self.attack_rounds,
+            "benign_rounds": self.benign_rounds,
+            "true_positive_rounds": self.true_positive_rounds,
+            "false_positive_rounds": self.false_positive_rounds,
+            "detection_round": self.detection_round,
+            "detection_latency_rounds": self.detection_latency_rounds,
+            "detected": self.detected,
+            "false_positive_rate": self.false_positive_rate,
+            "recall": self.recall,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DetectionMetrics":
+        return cls(
+            attack_rounds=data["attack_rounds"],
+            benign_rounds=data["benign_rounds"],
+            true_positive_rounds=data["true_positive_rounds"],
+            false_positive_rounds=data["false_positive_rounds"],
+            detection_round=data["detection_round"],
+            detection_latency_rounds=data["detection_latency_rounds"],
+        )
+
 
 def score_round_findings(
     findings: Sequence[RoundFinding],

@@ -1,0 +1,217 @@
+"""Picklable experiment registry shared by the CLI, sweeps and benches.
+
+Each paper table/figure is registered once as an :class:`ExperimentSpec`
+naming a **top-level** experiment function plus a reporter that formats
+its result for the terminal.  Because specs reference module-level
+callables only, an experiment can be named by string, shipped to a
+worker process, executed there, and its result serialized — which is
+what ``python -m repro sweep`` does.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.eval import experiments as ex
+
+
+# ---------------------------------------------------------------------------
+# Reporters: result object -> printable lines
+# ---------------------------------------------------------------------------
+
+def report_scenario(result) -> List[str]:
+    return [
+        f"detected: {result.detected}",
+        f"detection latency (rounds): {result.metrics.detection_latency_rounds}",
+        f"false positive rounds: {result.metrics.false_positive_rounds}",
+        f"drops: {result.total_drops} total, {result.congestive_drops} "
+        f"congestive, {result.malicious_drops_truth} truly malicious",
+    ]
+
+
+def report_pr_curve(curve) -> List[str]:
+    lines = [f"topology={curve.topology} protocol={curve.protocol}",
+             "k  max  mean  median"]
+    lines += [f"{k}  {mx:.0f}  {mean:.1f}  {med:.1f}"
+              for k, mx, mean, med in curve.rows()]
+    return lines
+
+
+def report_fatih(r) -> List[str]:
+    return [
+        f"convergence: {r.convergence_time:.1f} s",
+        f"attack at {r.attack_time:.1f} s, detected at "
+        f"{r.first_detection:.1f} s, rerouted at {r.reroute_time:.1f} s",
+        f"RTT {1000 * r.rtt_before:.1f} -> {1000 * r.rtt_after:.1f} ms",
+        "suspected: " + "; ".join(" -> ".join(s)
+                                  for s in r.suspected_segments),
+    ]
+
+
+def report_threshold(t) -> List[str]:
+    lines = [f"benign max losses {t.benign_max_losses}; "
+             f"malicious total {t.total_malicious_drops}"]
+    for th in t.thresholds:
+        lines.append(
+            f"  T={th:3d}: fp={t.static_fp_rounds[th]:3d} "
+            f"detected={t.static_detected[th]!s:5s} "
+            f"free drops={t.static_free_drops[th]}")
+    lines.append(f"  chi: fp={t.chi_fp_rounds} "
+                 f"detected={t.chi_detected}")
+    return lines
+
+
+def report_response(res) -> List[str]:
+    return [f"{k}: unreachable={v.unreachable_pairs} "
+            f"mean stretch={v.mean_stretch:.3f}"
+            for k, v in res.items()]
+
+
+def report_ns_points(points) -> List[str]:
+    return [f"rate {p.drop_rate:.2f}: detected={p.detected} "
+            f"latency={p.detection_latency_rounds} "
+            f"fp={p.false_positive_rounds}"
+            for p in points]
+
+
+def report_overhead(result) -> List[str]:
+    return result.rows()
+
+
+def report_baselines(demos) -> List[str]:
+    return [f"{demo.name}: {demo.values}" for demo in demos]
+
+
+def report_modeling(m) -> List[str]:
+    return [f"predicted loss {m.predicted_loss_prob:.4f} "
+            f"observed {m.observed_loss_rate:.4f} "
+            f"rel err {m.relative_error:.2f}"]
+
+
+def baseline_demos() -> List[ex.BaselineDemo]:
+    """The Ch. 3 baseline flaw demonstrations, bundled as one experiment."""
+    return [ex.watchers_flaw_demo(), ex.perlman_collusion_demo(),
+            ex.sectrace_framing_demo(), ex.awerbuch_localization_demo()]
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: a picklable function plus its reporter."""
+
+    name: str
+    fn: Callable[..., object]
+    reporter: Callable[[object], List[str]]
+    defaults: Tuple[Tuple[str, object], ...] = ()
+    description: str = ""
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        sig = inspect.signature(self.fn)
+        return tuple(p.name for p in sig.parameters.values()
+                     if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY))
+
+    @property
+    def accepts_seed(self) -> bool:
+        return "seed" in self.param_names
+
+    def run(self, **params):
+        merged = dict(self.defaults)
+        merged.update(params)
+        unknown = sorted(set(merged) - set(self.param_names))
+        if unknown:
+            raise ValueError(
+                f"experiment {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted: "
+                f"{', '.join(self.param_names) or '(none)'}")
+        return self.fn(**merged)
+
+    def report(self, result) -> List[str]:
+        return self.reporter(result)
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def get(name: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(_REGISTRY)}") from None
+
+
+def registry() -> Dict[str, ExperimentSpec]:
+    return dict(_REGISTRY)
+
+
+def run_experiment(name: str, params: Mapping[str, object] = {}) -> object:
+    """Look an experiment up by name and run it — the worker entry point."""
+    return get(name).run(**dict(params))
+
+
+for _spec in (
+    ExperimentSpec("fig5_2", ex.fig5_2_pr_pi2, report_pr_curve,
+                   defaults=(("topology", "ebone"),),
+                   description="Fig 5.2: segments monitored per router, Π2"),
+    ExperimentSpec("fig5_4", ex.fig5_4_pr_pik2, report_pr_curve,
+                   defaults=(("topology", "ebone"),),
+                   description="Fig 5.4: segments monitored per router, Πk+2"),
+    ExperimentSpec("overhead", ex.state_overhead, report_overhead,
+                   description="§5.1.1/§5.2.1: counter state vs WATCHERS"),
+    ExperimentSpec("fig5_7", ex.fig5_7_fatih, report_fatih,
+                   description="Fig 5.7: Fatih attack/detect/reroute timeline"),
+    ExperimentSpec("fig6_3", ex.fig6_3_ns_simulation, report_ns_points,
+                   description="Fig 6.3: χ detection across attack rates"),
+    ExperimentSpec("fig6_5", ex.fig6_5_no_attack, report_scenario,
+                   description="Fig 6.5: droptail, pure congestion"),
+    ExperimentSpec("fig6_6", ex.fig6_6_attack1, report_scenario,
+                   description="Fig 6.6: drop 20% of the selected flow"),
+    ExperimentSpec("fig6_7", ex.fig6_7_attack2, report_scenario,
+                   description="Fig 6.7: drop selected flow at queue 90%"),
+    ExperimentSpec("fig6_8", ex.fig6_8_attack3, report_scenario,
+                   description="Fig 6.8: drop selected flow at queue 95%"),
+    ExperimentSpec("fig6_9", ex.fig6_9_attack4, report_scenario,
+                   description="Fig 6.9: SYN-drop a connecting host"),
+    ExperimentSpec("fig6_11", ex.fig6_11_red_no_attack, report_scenario,
+                   description="Fig 6.11: RED, no attack"),
+    ExperimentSpec("fig6_12", ex.fig6_12_red_attack1, report_scenario,
+                   description="Fig 6.12: RED drop above 45,000 bytes"),
+    ExperimentSpec("fig6_13", ex.fig6_13_red_attack2, report_scenario,
+                   description="Fig 6.13: RED drop above 54,000 bytes"),
+    ExperimentSpec("fig6_14", ex.fig6_14_red_attack3, report_scenario,
+                   description="Fig 6.14: RED drop 10% above 45,000 bytes"),
+    ExperimentSpec("fig6_15", ex.fig6_15_red_attack4, report_scenario,
+                   description="Fig 6.15: RED drop 5% above 45,000 bytes"),
+    ExperimentSpec("fig6_16", ex.fig6_16_red_attack5, report_scenario,
+                   description="Fig 6.16: RED SYN-drop"),
+    ExperimentSpec("threshold", ex.chi_vs_static_threshold, report_threshold,
+                   description="§6.4.3: χ vs static loss thresholds"),
+    ExperimentSpec("response", ex.response_strategy_ablation, report_response,
+                   description="§2.4.3: segment vs router removal"),
+    ExperimentSpec("baselines", baseline_demos, report_baselines,
+                   description="Ch. 3 baseline flaw demonstrations"),
+    ExperimentSpec("modeling", ex.traffic_modeling_comparison,
+                   report_modeling,
+                   description="§6.1.2: Appenzeller model vs simulation"),
+):
+    register(_spec)

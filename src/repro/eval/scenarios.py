@@ -144,7 +144,7 @@ def build_droptail_scenario(
     """
     topo = _simple_topology(n_sources, bottleneck_bw, queue_limit,
                             with_victim_sink=with_connector)
-    net = Network(topo, proc_jitter=proc_jitter)
+    net = Network(topo, proc_jitter=proc_jitter, seed=seed)
     paths = install_static_routes(net)
     oracle = PathOracle(paths)
     schedule = RoundSchedule(tau=tau)
@@ -192,7 +192,8 @@ def build_red_scenario(
                             rng=random.Random(seed + 1))
         return DropTailQueue(link.queue_limit)
 
-    net = Network(topo, queue_factory=queue_factory, proc_jitter=0.0)
+    net = Network(topo, queue_factory=queue_factory, proc_jitter=0.0,
+                  seed=seed)
     paths = install_static_routes(net)
     oracle = PathOracle(paths)
     schedule = RoundSchedule(tau=tau)

@@ -166,6 +166,7 @@ class Router:
         name: str,
         network: "Network",
         proc_jitter: float = 0.0,
+        seed: int = 0,
     ) -> None:
         self.name = name
         self.network = network
@@ -177,7 +178,9 @@ class Router:
         self.policy_table: Dict[Tuple[str, str], List[str]] = {}
         self.compromise = None  # type: Optional[Any]
         self.proc_jitter = proc_jitter
-        self._rng = random.Random(_stable_hash(name))
+        # seed=0 reproduces the historical per-name stream exactly; any
+        # other seed perturbs every router's jitter stream deterministically.
+        self._rng = random.Random(_stable_hash(name) ^ (seed * 0x9E3779B97F4A7C15))
         # Local "applications": flow_id -> callback(packet, time)
         self.local_flows: Dict[str, Callable[[Packet, float], None]] = {}
         self.delivered = 0
@@ -323,16 +326,19 @@ class Network:
         queue_factory: Optional[Callable[[Link], Any]] = None,
         proc_jitter: float = 0.0,
         control_delay: float = 0.002,
+        seed: int = 0,
     ) -> None:
         self.topology = topology
         self.sim = sim or Simulator()
         self.taps: List[MonitorTap] = []
         self.routers: Dict[str, Router] = {}
         self.control_delay = control_delay
+        self.seed = seed
         if queue_factory is None:
             queue_factory = lambda link: DropTailQueue(link.queue_limit)
         for name in topology.routers:
-            self.routers[name] = Router(name, self, proc_jitter=proc_jitter)
+            self.routers[name] = Router(name, self, proc_jitter=proc_jitter,
+                                        seed=seed)
         for link in topology.links():
             self.routers[link.src].add_interface(link, queue_factory(link))
 

@@ -1,0 +1,40 @@
+"""Parallel Monte-Carlo sweep engine with result caching.
+
+``python -m repro sweep <experiment> --seeds N --jobs J`` fans any
+registered experiment across a process pool — seeds derived
+deterministically from a root seed, finished runs cached on disk under
+``.repro-cache/``, per-sweep JSON/CSV artifacts plus mean/median/CI
+aggregates emitted per sweep.  See the "Sweeps" sections of README.md
+and EXPERIMENTS.md.
+"""
+
+from repro.sweep.aggregate import aggregate_records, flatten_numeric, summarize
+from repro.sweep.artifacts import result_to_dict, write_sweep_artifacts
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from repro.sweep.grid import (
+    RunSpec,
+    derive_seed,
+    expand_grid,
+    parse_grid_assignments,
+    parse_param_assignments,
+)
+from repro.sweep.runner import SweepResult, execute_spec, run_sweep
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "RunSpec",
+    "SweepResult",
+    "aggregate_records",
+    "code_version",
+    "derive_seed",
+    "execute_spec",
+    "expand_grid",
+    "flatten_numeric",
+    "parse_grid_assignments",
+    "parse_param_assignments",
+    "result_to_dict",
+    "run_sweep",
+    "summarize",
+    "write_sweep_artifacts",
+]

@@ -1,0 +1,71 @@
+"""Cross-run statistics: flatten per-run records, compute mean/median/CI.
+
+Each run's serialized result is flattened to dotted numeric leaves
+(``metrics.false_positive_rounds``, ``extra.victim_goodput_pps``, ...);
+booleans count as 0/1 so "fraction of seeds detected" falls out of the
+same machinery.  Fields missing from some runs are aggregated over the
+runs that have them (``n`` records how many).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence
+
+
+def flatten_numeric(record, prefix: str = "") -> Dict[str, float]:
+    """Extract dotted-path numeric (and boolean) leaves from a record."""
+    flat: Dict[str, float] = {}
+    if not isinstance(record, Mapping):
+        # List- or scalar-shaped results have no named numeric fields.
+        return flat
+    for key, value in record.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            flat[path] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            if isinstance(value, float) and not math.isfinite(value):
+                continue
+            flat[path] = float(value)
+        elif isinstance(value, Mapping):
+            flat.update(flatten_numeric(value, path))
+        # lists/strings/None are per-run detail, not aggregable series
+    return flat
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """n/mean/median/std/min/max plus a normal-approximation 95% CI."""
+    n = len(values)
+    mean = sum(values) / n
+    variance = (sum((v - mean) ** 2 for v in values) / (n - 1)
+                if n > 1 else 0.0)
+    std = math.sqrt(variance)
+    ci95 = 1.96 * std / math.sqrt(n) if n > 1 else 0.0
+    return {
+        "n": n,
+        "mean": mean,
+        "median": _median(values),
+        "std": std,
+        "min": min(values),
+        "max": max(values),
+        "ci95": ci95,
+    }
+
+
+def aggregate_records(
+        results: Sequence[Mapping]) -> Dict[str, Dict[str, float]]:
+    """Aggregate the flattened numeric fields of many run results."""
+    series: Dict[str, List[float]] = {}
+    for result in results:
+        for path, value in flatten_numeric(result).items():
+            series.setdefault(path, []).append(value)
+    return {path: summarize(values)
+            for path, values in sorted(series.items())}

@@ -1,0 +1,104 @@
+"""Structured sweep artifacts: a JSON manifest plus per-run/aggregate CSV.
+
+Artifact schema (``sweep.json``, ``schema: repro.sweep/v1``)::
+
+    {
+      "schema": "repro.sweep/v1",
+      "experiment": "fig6_6",
+      "root_seed": 0,
+      "params": {...},            # fixed parameters
+      "grid": {...},              # swept axes (name -> values)
+      "n_runs": 8, "seeds": 8, "jobs": 4,
+      "code_version": "deadbeef01234567",
+      "cache": {"hits": 0, "misses": 8, "dir": ".repro-cache"},
+      "elapsed_s": 4.2,
+      "runs": [ {"seed_index", "seed", "params", "elapsed_s",
+                 "cached", "result": {...}} , ... ],
+      "aggregate": { "<dotted.field>": {n, mean, median, std,
+                                        min, max, ci95}, ... }
+    }
+
+``runs.csv`` holds one row per run with the flattened numeric result
+fields as columns; ``aggregate.csv`` one row per aggregated field.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import os
+from typing import Dict, List, Mapping
+
+from repro.sweep.aggregate import flatten_numeric
+
+MANIFEST_SCHEMA = "repro.sweep/v1"
+
+
+def result_to_dict(result) -> object:
+    """Serialize any experiment result to JSON-safe plain data.
+
+    Prefers the type's own ``to_dict``; falls back to dataclass fields,
+    containers, then ``repr`` for anything exotic.
+    """
+    if hasattr(result, "to_dict"):
+        return result_to_dict(result.to_dict())
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {f.name: result_to_dict(getattr(result, f.name))
+                for f in dataclasses.fields(result)}
+    if isinstance(result, Mapping):
+        return {str(k): result_to_dict(v) for k, v in result.items()}
+    if isinstance(result, (list, tuple, set, frozenset)):
+        items = sorted(result) if isinstance(result, (set, frozenset)) else result
+        return [result_to_dict(v) for v in items]
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        return result
+    return repr(result)
+
+
+def write_sweep_artifacts(sweep, out_dir: str) -> Dict[str, str]:
+    """Write ``sweep.json``, ``runs.csv`` and ``aggregate.csv``.
+
+    ``sweep`` is a :class:`repro.sweep.runner.SweepResult`.  Returns the
+    mapping of artifact name to written path.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "sweep.json": os.path.join(out_dir, "sweep.json"),
+        "runs.csv": os.path.join(out_dir, "runs.csv"),
+        "aggregate.csv": os.path.join(out_dir, "aggregate.csv"),
+    }
+
+    with open(paths["sweep.json"], "w") as handle:
+        json.dump(sweep.manifest(), handle, indent=2, default=str)
+        handle.write("\n")
+
+    flat_runs: List[Dict[str, object]] = []
+    numeric_columns: List[str] = []
+    for record in sweep.records:
+        flat = flatten_numeric(record.get("result", {}))
+        for column in flat:
+            if column not in numeric_columns:
+                numeric_columns.append(column)
+        flat_runs.append(flat)
+    with open(paths["runs.csv"], "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["experiment", "seed_index", "seed", "params",
+                         "cached", "elapsed_s"] + numeric_columns)
+        for record, flat in zip(sweep.records, flat_runs):
+            writer.writerow(
+                [record["experiment"], record["seed_index"], record["seed"],
+                 json.dumps(record["params"], sort_keys=True, default=str),
+                 int(bool(record.get("cached"))),
+                 f"{record.get('elapsed_s', 0.0):.4f}"]
+                + [flat.get(column, "") for column in numeric_columns])
+
+    with open(paths["aggregate.csv"], "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["field", "n", "mean", "median", "std",
+                         "min", "max", "ci95"])
+        for field, stats in sweep.aggregate.items():
+            writer.writerow([field, stats["n"], stats["mean"],
+                             stats["median"], stats["std"], stats["min"],
+                             stats["max"], stats["ci95"]])
+    return paths

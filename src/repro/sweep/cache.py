@@ -1,0 +1,128 @@
+"""Content-addressed on-disk result cache for sweeps.
+
+Entries live under ``.repro-cache/<experiment>/<key>.json`` where the key
+is a SHA-256 over (experiment name, grid-point parameters, derived seed,
+code version).  The code version is itself a content hash of every
+``repro`` source file, so editing any module invalidates all prior
+entries without bookkeeping.  A corrupted or mismatched entry is deleted
+and treated as a miss — the cache is a pure accelerator, never a source
+of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.sweep.grid import RunSpec
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+ENTRY_SCHEMA = "repro.sweep.cache/v1"
+
+_code_version_memo: Dict[str, str] = {}
+
+
+def code_version() -> str:
+    """Content hash of the installed ``repro`` package's sources."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    memo = _code_version_memo.get(root)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    version = digest.hexdigest()[:16]
+    _code_version_memo[root] = version
+    return version
+
+
+class ResultCache:
+    """Load/store per-run result records keyed by run content hash."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR,
+                 version: Optional[str] = None,
+                 enabled: bool = True) -> None:
+        self.root = root
+        self.version = version if version is not None else code_version()
+        self.enabled = enabled
+
+    def key(self, spec: RunSpec) -> str:
+        payload = json.dumps({
+            "experiment": spec.experiment,
+            "params": dict(spec.params),
+            "seed": spec.seed,
+            "seed_index": spec.seed_index,
+            "code_version": self.version,
+        }, sort_keys=True, separators=(",", ":"), default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path(self, spec: RunSpec) -> str:
+        return os.path.join(self.root, spec.experiment,
+                            self.key(spec) + ".json")
+
+    def load(self, spec: RunSpec) -> Optional[dict]:
+        """Return the cached record, or None on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self.path(spec)
+        try:
+            with open(path, "r") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != ENTRY_SCHEMA
+                or entry.get("key") != self.key(spec)
+                or not isinstance(entry.get("record"), dict)):
+            self._discard(path)
+            return None
+        return entry["record"]
+
+    def store(self, spec: RunSpec, record: dict) -> None:
+        """Atomically persist one run record (temp file + rename)."""
+        if not self.enabled:
+            return
+        path = self.path(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": self.key(spec),
+            "experiment": spec.experiment,
+            "params": dict(spec.params),
+            "seed": spec.seed,
+            "seed_index": spec.seed_index,
+            "code_version": self.version,
+            "record": record,
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, default=str)
+            os.replace(tmp_path, path)
+        except BaseException:
+            self._discard(tmp_path)
+            raise
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -1,0 +1,105 @@
+"""The ``python -m repro sweep`` subcommand."""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List
+
+from repro.sweep.artifacts import write_sweep_artifacts
+from repro.sweep.cache import DEFAULT_CACHE_DIR
+from repro.sweep.grid import parse_grid_assignments, parse_param_assignments
+from repro.sweep.runner import run_sweep
+
+
+def add_sweep_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "sweep",
+        help="Monte-Carlo sweep an experiment across seeds and parameters",
+        description=(
+            "Fan one experiment across N derived seeds (and an optional "
+            "parameter grid) on a process pool, aggregate "
+            "mean/median/std/CI statistics, and write JSON/CSV artifacts. "
+            "Finished runs are cached under .repro-cache/ and reused "
+            "until code or parameters change."),
+    )
+    parser.add_argument("experiment", help="registered experiment name")
+    parser.add_argument("--seeds", type=int, default=8, metavar="N",
+                        help="Monte-Carlo replicates per grid point "
+                             "(default 8)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1), metavar="J",
+                        help="worker processes (default: CPU count)")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="fix an experiment parameter (repeatable)")
+    parser.add_argument("--grid", action="append", default=[],
+                        metavar="KEY=V1,V2,...",
+                        help="sweep an experiment parameter over values "
+                             "(repeatable; cartesian product)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="artifact directory "
+                             "(default sweeps/<experiment>)")
+    parser.add_argument("--root-seed", type=int, default=0, metavar="S",
+                        help="root seed all per-run seeds derive from "
+                             "(default 0)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help=f"result cache location "
+                             f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every run; do not read or write "
+                             "the cache")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines")
+    return parser
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import sys
+
+    try:
+        params = parse_param_assignments(args.param)
+        grid = parse_grid_assignments(args.grid)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+    try:
+        sweep = run_sweep(
+            args.experiment,
+            seeds=args.seeds,
+            jobs=args.jobs,
+            params=params,
+            grid=grid,
+            root_seed=args.root_seed,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            progress=progress,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(message, file=sys.stderr)
+        return 2
+    out_dir = args.out or os.path.join("sweeps", args.experiment)
+    sweep.artifact_paths = write_sweep_artifacts(sweep, out_dir)
+    for line in sweep.summary_lines():
+        print(line)
+    headline = _headline_fields(sweep.aggregate)
+    if headline:
+        print("aggregate (mean ± ci95 over runs):")
+        for line in headline:
+            print("  " + line)
+    return 0
+
+
+def _headline_fields(aggregate) -> List[str]:
+    """The most readable aggregate slice: top-level and metrics.* fields."""
+    lines = []
+    for field, stats in aggregate.items():
+        segments = field.split(".")
+        if len(segments) > 2 or segments[-1].isdigit():
+            continue
+        lines.append(f"{field}: {stats['mean']:.4g} ± {stats['ci95']:.4g} "
+                     f"(median {stats['median']:.4g}, n={stats['n']})")
+    return lines

@@ -1,0 +1,138 @@
+"""Run-grid expansion and deterministic per-run seed derivation.
+
+A sweep is the cartesian product of a parameter grid times ``n_seeds``
+Monte-Carlo replicates.  Every run gets a :class:`RunSpec` whose seed is
+derived as ``sha256(root_seed | run_key)`` — so the same root seed always
+expands to the same per-run seeds, regardless of worker count or
+completion order, and adding a grid axis never perturbs the seeds of
+existing points.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+Params = Tuple[Tuple[str, object], ...]
+
+
+def canonical_params(params: Mapping[str, object]) -> Params:
+    """Sort parameters into a hashable, order-independent form."""
+    return tuple(sorted(params.items()))
+
+
+def params_token(params: Mapping[str, object]) -> str:
+    """A canonical JSON string of a parameter mapping (dict-order free)."""
+    return json.dumps(dict(params), sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def derive_seed(root_seed: int, run_key: str) -> int:
+    """Deterministically derive a per-run seed from the sweep's root seed."""
+    digest = hashlib.sha256(f"{root_seed}|{run_key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2 ** 31)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of a sweep: an experiment, a grid point, one derived seed."""
+
+    experiment: str
+    params: Params  # grid-point parameters, sorted, never includes "seed"
+    seed_index: int
+    seed: Optional[int]  # derived seed; None for seedless experiments
+
+    @property
+    def run_key(self) -> str:
+        return (f"{self.experiment}|{params_token(dict(self.params))}"
+                f"|seed{self.seed_index}")
+
+    def call_params(self) -> Dict[str, object]:
+        """The kwargs actually passed to the experiment function."""
+        merged = dict(self.params)
+        if self.seed is not None:
+            merged["seed"] = self.seed
+        return merged
+
+    def payload(self) -> dict:
+        """A plain-dict form safe to ship across a process boundary."""
+        return {
+            "experiment": self.experiment,
+            "params": [list(kv) for kv in self.params],
+            "seed_index": self.seed_index,
+            "seed": self.seed,
+        }
+
+
+def expand_grid(
+    experiment: str,
+    base_params: Optional[Mapping[str, object]] = None,
+    grid: Optional[Mapping[str, Sequence[object]]] = None,
+    n_seeds: int = 1,
+    root_seed: int = 0,
+    accepts_seed: bool = True,
+) -> List[RunSpec]:
+    """Expand (grid axes) x (seed replicates) into an ordered run list."""
+    if n_seeds < 1:
+        raise ValueError("n_seeds must be >= 1")
+    points: List[Dict[str, object]] = [dict(base_params or {})]
+    for key, values in sorted((grid or {}).items()):
+        if not values:
+            raise ValueError(f"grid axis {key!r} has no values")
+        points = [dict(point, **{key: value})
+                  for point in points for value in values]
+    specs: List[RunSpec] = []
+    for point in points:
+        params = canonical_params(point)
+        if accepts_seed:
+            for index in range(n_seeds):
+                spec = RunSpec(experiment, params, index, None)
+                specs.append(RunSpec(experiment, params, index,
+                                     derive_seed(root_seed, spec.run_key)))
+        else:
+            specs.append(RunSpec(experiment, params, 0, None))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# CLI value parsing
+# ---------------------------------------------------------------------------
+
+def coerce_value(text: str) -> object:
+    """Best-effort literal coercion: int/float/bool/None, else string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def parse_param_assignments(assignments: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``--param key=value`` options."""
+    params: Dict[str, object] = {}
+    for assignment in assignments:
+        key, sep, value = assignment.partition("=")
+        if not sep or not key:
+            raise ValueError(f"bad --param {assignment!r}; expected key=value")
+        params[key] = coerce_value(value)
+    return params
+
+
+def parse_grid_assignments(
+        assignments: Sequence[str]) -> Dict[str, List[object]]:
+    """Parse repeated ``--grid key=v1,v2,...`` options."""
+    grid: Dict[str, List[object]] = {}
+    for assignment in assignments:
+        key, sep, values = assignment.partition("=")
+        if not sep or not key or not values:
+            raise ValueError(
+                f"bad --grid {assignment!r}; expected key=v1,v2,...")
+        grid[key] = [coerce_value(v) for v in values.split(",")]
+    return grid

@@ -1,0 +1,199 @@
+"""Process-pool sweep orchestration.
+
+:func:`run_sweep` expands a (grid x seeds) run list, answers what it can
+from the on-disk cache, fans the remaining runs across a
+``ProcessPoolExecutor`` (``jobs=1`` runs inline, bit-identical to the
+pool path since every run is fully determined by its :class:`RunSpec`),
+aggregates the serialized results, and hands back a
+:class:`SweepResult` ready for the artifact writer.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.sweep.aggregate import aggregate_records
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.sweep.grid import RunSpec, expand_grid
+
+
+def execute_spec(payload: dict) -> dict:
+    """Run one sweep cell — the worker-process entry point.
+
+    Takes the plain-dict payload of a :class:`RunSpec` (name + kwargs
+    only, so it pickles trivially) and returns a serialized run record.
+    """
+    from repro.eval.registry import run_experiment
+    from repro.sweep.artifacts import result_to_dict
+
+    params = {key: value for key, value in payload["params"]}
+    call_params = dict(params)
+    if payload["seed"] is not None:
+        call_params["seed"] = payload["seed"]
+    started = time.perf_counter()
+    result = run_experiment(payload["experiment"], call_params)
+    elapsed = time.perf_counter() - started
+    return {
+        "experiment": payload["experiment"],
+        "seed_index": payload["seed_index"],
+        "seed": payload["seed"],
+        "params": params,
+        "elapsed_s": elapsed,
+        "result": result_to_dict(result),
+    }
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, pre-aggregation included."""
+
+    experiment: str
+    root_seed: int
+    seeds: int
+    jobs: int
+    params: Dict[str, object]
+    grid: Dict[str, List[object]]
+    specs: List[RunSpec]
+    records: List[dict]  # same order as specs
+    aggregate: Dict[str, Dict[str, float]]
+    cache_hits: int
+    cache_misses: int
+    cache_dir: Optional[str]
+    code_version: str
+    elapsed_s: float = 0.0
+    artifact_paths: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.records)
+
+    def manifest(self) -> dict:
+        return {
+            "schema": "repro.sweep/v1",
+            "experiment": self.experiment,
+            "root_seed": self.root_seed,
+            "seeds": self.seeds,
+            "jobs": self.jobs,
+            "params": dict(self.params),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "n_runs": self.n_runs,
+            "code_version": self.code_version,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses,
+                      "dir": self.cache_dir},
+            "elapsed_s": self.elapsed_s,
+            "runs": self.records,
+            "aggregate": self.aggregate,
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"sweep {self.experiment}: {self.n_runs} runs "
+            f"({self.seeds} seeds x {max(1, self.n_runs // max(1, self.seeds))} "
+            f"grid points), jobs={self.jobs}",
+            f"cache: {self.cache_hits} hits, {self.cache_misses} misses "
+            f"({self.cache_dir or 'disabled'})",
+            f"elapsed: {self.elapsed_s:.2f} s",
+        ]
+        for path in sorted(self.artifact_paths.values()):
+            lines.append(f"wrote {path}")
+        return lines
+
+
+def run_sweep(
+    experiment: str,
+    *,
+    seeds: int = 8,
+    jobs: int = 1,
+    params: Optional[Mapping[str, object]] = None,
+    grid: Optional[Mapping[str, Sequence[object]]] = None,
+    root_seed: int = 0,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run ``experiment`` across (grid x seeds), cached and in parallel."""
+    from repro.eval import registry
+
+    spec_entry = registry.get(experiment)  # raises KeyError when unknown
+    params = dict(params or {})
+    grid = {key: list(values) for key, values in (grid or {}).items()}
+    overlap = set(params) & set(grid)
+    if overlap:
+        raise ValueError(
+            f"parameter(s) {', '.join(sorted(overlap))} appear in both "
+            f"--param and --grid")
+    if "seed" in params or "seed" in grid:
+        raise ValueError("control seeds via --seeds/--root-seed, "
+                         "not --param/--grid seed=...")
+    for key in list(params) + list(grid):
+        if key not in spec_entry.param_names:
+            raise ValueError(
+                f"experiment {experiment!r} does not accept parameter "
+                f"{key!r}; accepted: "
+                f"{', '.join(spec_entry.param_names) or '(none)'}")
+
+    n_seeds = seeds if spec_entry.accepts_seed else 1
+    if not spec_entry.accepts_seed and seeds > 1 and progress is not None:
+        progress(f"note: {experiment} takes no seed parameter; "
+                 f"running 1 deterministic run per grid point")
+    specs = expand_grid(experiment, params, grid, n_seeds, root_seed,
+                        accepts_seed=spec_entry.accepts_seed)
+
+    if cache is None:
+        cache = ResultCache(cache_dir, enabled=use_cache)
+    started = time.perf_counter()
+    records: List[Optional[dict]] = [None] * len(specs)
+    pending: List[int] = []
+    hits = 0
+    for index, spec in enumerate(specs):
+        cached = cache.load(spec)
+        if cached is not None:
+            record = dict(cached)
+            record["cached"] = True
+            records[index] = record
+            hits += 1
+        else:
+            pending.append(index)
+    if progress is not None and hits:
+        progress(f"cache: {hits}/{len(specs)} runs already computed")
+
+    if pending:
+        payloads = [specs[index].payload() for index in pending]
+        if jobs <= 1 or len(pending) == 1:
+            fresh = [execute_spec(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending))) as pool:
+                fresh = list(pool.map(execute_spec, payloads))
+        for done, (index, record) in enumerate(zip(pending, fresh), 1):
+            cache.store(specs[index], record)
+            record = dict(record)
+            record["cached"] = False
+            records[index] = record
+            if progress is not None:
+                progress(
+                    f"run {done}/{len(pending)}: seed_index="
+                    f"{specs[index].seed_index} seed={specs[index].seed} "
+                    f"({record['elapsed_s']:.2f} s)")
+
+    aggregate = aggregate_records([record["result"] for record in records])
+    return SweepResult(
+        experiment=experiment,
+        root_seed=root_seed,
+        seeds=n_seeds,
+        jobs=jobs,
+        params=params,
+        grid=grid,
+        specs=specs,
+        records=records,  # type: ignore[arg-type]
+        aggregate=aggregate,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        cache_dir=cache.root if cache.enabled else None,
+        code_version=cache.version,
+        elapsed_s=time.perf_counter() - started,
+    )

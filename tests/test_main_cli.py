@@ -1,0 +1,63 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_exit_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6_6" in out
+        assert "[seeded]" in out
+
+
+class TestRun:
+    def test_unknown_name_exits_2(self, capsys):
+        assert main(["run", "definitely-not-an-experiment"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_runs_fast_experiment(self, capsys):
+        assert main(["run", "baselines"]) == 0
+        assert "watchers-consorting" in capsys.readouterr().out
+
+    def test_seed_ignored_for_seedless(self, capsys):
+        assert main(["run", "baselines", "--seed", "7"]) == 0
+        assert "takes no seed" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--seeds" in out and "--jobs" in out and "--out" in out
+
+    def test_unknown_experiment_exits_2(self, tmp_path, capsys):
+        assert main(["sweep", "definitely-not-an-experiment",
+                     "--out", str(tmp_path / "out"),
+                     "--cache-dir", str(tmp_path / "cache")]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_param_exits_2(self, tmp_path, capsys):
+        assert main(["sweep", "baselines", "--param", "nope",
+                     "--out", str(tmp_path / "out"),
+                     "--cache-dir", str(tmp_path / "cache")]) == 2
+        assert "bad --param" in capsys.readouterr().err
+
+    def test_tiny_sweep_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["sweep", "baselines", "--seeds", "1", "--jobs", "1",
+                     "--out", str(out_dir),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "cache:" in capsys.readouterr().out
+        with open(os.path.join(str(out_dir), "sweep.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["schema"] == "repro.sweep/v1"
+        assert manifest["n_runs"] == 1

@@ -1,0 +1,121 @@
+"""to_dict()/from_dict() round-trips for the eval result types."""
+
+import json
+
+from repro.eval.experiments import (
+    BaselineDemo,
+    ConfidenceCurve,
+    FatihTimelineResult,
+    ModelingComparison,
+    NsSimPoint,
+    PrCurve,
+    ResponseImpact,
+    ScenarioResult,
+    StateOverheadResult,
+    ThresholdComparison,
+)
+from repro.eval.metrics import DetectionMetrics
+
+
+def make_metrics():
+    return DetectionMetrics(attack_rounds=10, benign_rounds=20,
+                            true_positive_rounds=4,
+                            false_positive_rounds=1,
+                            detection_round=25,
+                            detection_latency_rounds=0)
+
+
+def make_scenario_result():
+    return ScenarioResult(
+        name="attack1-drop20pct",
+        metrics=make_metrics(),
+        total_drops=37,
+        congestive_drops=13,
+        malicious_drops_truth=28,
+        candidate_drops=24,
+        rounds=[(10, 3, 1, 0.42, False), (25, 9, 8, 0.99, True)],
+        malicious_by_round={25: 11, 26: 3},
+        extra={"victim_goodput_pps": 17.4},
+    )
+
+
+class TestDetectionMetrics:
+    def test_round_trip(self):
+        metrics = make_metrics()
+        clone = DetectionMetrics.from_dict(metrics.to_dict())
+        assert clone == metrics
+
+    def test_json_safe(self):
+        json.dumps(make_metrics().to_dict())
+
+    def test_derived_fields_exported(self):
+        data = make_metrics().to_dict()
+        assert data["detected"] is True
+        assert data["recall"] == 0.4
+
+
+class TestScenarioResult:
+    def test_round_trip(self):
+        result = make_scenario_result()
+        clone = ScenarioResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+
+    def test_json_keys_are_strings(self):
+        data = json.loads(json.dumps(make_scenario_result().to_dict()))
+        assert data["malicious_by_round"] == {"25": 11, "26": 3}
+
+    def test_round_trip_restores_int_round_keys(self):
+        clone = ScenarioResult.from_dict(
+            json.loads(json.dumps(make_scenario_result().to_dict())))
+        assert clone.malicious_by_round == {25: 11, 26: 3}
+
+
+class TestPrCurve:
+    def test_round_trip(self):
+        curve = PrCurve("ebone", "pi2",
+                        {1: {"max": 9.0, "mean": 4.5, "median": 4.0},
+                         2: {"max": 20.0, "mean": 11.0, "median": 10.0}})
+        clone = PrCurve.from_dict(json.loads(json.dumps(curve.to_dict())))
+        assert clone == curve
+        assert clone.rows() == curve.rows()
+
+
+class TestOtherResults:
+    def test_all_json_safe(self):
+        results = [
+            StateOverheadResult("sprintlink", 13608.0, 99225.0,
+                                {2: {"mean": 829.0, "max": 1156.0}}),
+            NsSimPoint(0.2, True, 0, 0, 31),
+            FatihTimelineResult(convergence_time=42.0, attack_time=117.0,
+                                first_detection=122.0, reroute_time=131.0,
+                                rtt_before=0.050, rtt_after=0.056,
+                                suspected_segments=[("a", "b", "c")],
+                                probes_lost=5),
+            ConfidenceCurve(30000.0, 0.0, 1000.0, [(0.0, 0.0), (30000.0, 1.0)]),
+            ThresholdComparison(thresholds=[1, 5],
+                                static_fp_rounds={1: 3, 5: 0},
+                                static_detected={1: True, 5: False},
+                                static_free_drops={1: 0, 5: 12},
+                                chi_fp_rounds=0, chi_detected=True,
+                                total_malicious_drops=40,
+                                benign_max_losses=4,
+                                attack_mean_losses=2.5),
+            BaselineDemo("demo", "desc",
+                         {"links": [("a", "b")], "detected": True}),
+            ModelingComparison(0.01, 0.003, 2.3),
+            ResponseImpact("segment", 0, 1.08, 1.4),
+        ]
+        for result in results:
+            data = result.to_dict()
+            json.dumps(data)
+            assert isinstance(data, dict) and data
+
+    def test_fatih_exports_derived_latencies(self):
+        result = FatihTimelineResult(convergence_time=42.0, attack_time=117.0,
+                                     first_detection=122.0, reroute_time=131.0,
+                                     rtt_before=0.050, rtt_after=0.056,
+                                     suspected_segments=[], probes_lost=0)
+        data = result.to_dict()
+        assert data["detection_latency"] == 5.0
+        assert data["response_latency"] == 14.0

@@ -1,0 +1,144 @@
+"""Result-cache behavior: hits, invalidation, corruption tolerance."""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.eval import registry
+from repro.eval.registry import ExperimentSpec
+from repro.sweep.cache import ResultCache, code_version
+from repro.sweep.grid import RunSpec, canonical_params
+from repro.sweep.runner import run_sweep
+
+TOY = "toy-cache-test"
+
+
+def toy_experiment(scale: float = 1.0, seed: int = 0):
+    rng = random.Random(seed)
+    return {"value": scale * rng.random(), "seed": seed}
+
+
+def report_toy(result):
+    return [str(result)]
+
+
+@pytest.fixture
+def toy_registered():
+    registry.register(ExperimentSpec(TOY, toy_experiment, report_toy))
+    yield TOY
+    registry.unregister(TOY)
+
+
+def spec_for(seed=1, **params):
+    return RunSpec("exp", canonical_params(params), 0, seed)
+
+
+class TestResultCacheUnit:
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        assert cache.load(spec_for()) is None
+
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        spec = spec_for(a=1)
+        cache.store(spec, {"result": {"x": 2.0}})
+        assert cache.load(spec) == {"result": {"x": 2.0}}
+
+    def test_key_changes_with_parameter(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        assert cache.key(spec_for(a=1)) != cache.key(spec_for(a=2))
+
+    def test_key_changes_with_seed(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        assert cache.key(spec_for(seed=1)) != cache.key(spec_for(seed=2))
+
+    def test_key_changes_with_code_version(self, tmp_path):
+        old = ResultCache(str(tmp_path), version="v1")
+        new = ResultCache(str(tmp_path), version="v2")
+        spec = spec_for()
+        old.store(spec, {"result": {}})
+        assert new.load(spec) is None
+
+    def test_corrupted_entry_discarded_not_crashed(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        spec = spec_for()
+        cache.store(spec, {"result": {}})
+        with open(cache.path(spec), "w") as handle:
+            handle.write("{ not json !!!")
+        assert cache.load(spec) is None
+        assert not os.path.exists(cache.path(spec))  # removed, will refill
+
+    def test_wrong_schema_discarded(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1")
+        spec = spec_for()
+        path = cache.path(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump({"schema": "something-else", "record": {}}, handle)
+        assert cache.load(spec) is None
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = ResultCache(str(tmp_path), version="v1", enabled=False)
+        spec = spec_for()
+        cache.store(spec, {"result": {}})
+        assert cache.load(spec) is None
+        assert not os.path.exists(cache.path(spec))
+
+    def test_code_version_is_stable_hex(self):
+        assert code_version() == code_version()
+        int(code_version(), 16)
+
+
+class TestSweepCaching:
+    def test_second_sweep_all_hits(self, tmp_path, toy_registered):
+        kwargs = dict(seeds=4, jobs=1, cache_dir=str(tmp_path))
+        first = run_sweep(toy_registered, **kwargs)
+        assert (first.cache_hits, first.cache_misses) == (0, 4)
+        second = run_sweep(toy_registered, **kwargs)
+        assert (second.cache_hits, second.cache_misses) == (4, 0)
+        assert ([r["result"] for r in first.records]
+                == [r["result"] for r in second.records])
+        assert all(r["cached"] for r in second.records)
+
+    def test_changed_parameter_misses(self, tmp_path, toy_registered):
+        kwargs = dict(seeds=2, jobs=1, cache_dir=str(tmp_path))
+        run_sweep(toy_registered, **kwargs)
+        changed = run_sweep(toy_registered, params={"scale": 2.0}, **kwargs)
+        assert changed.cache_hits == 0
+
+    def test_changed_root_seed_misses(self, tmp_path, toy_registered):
+        kwargs = dict(seeds=2, jobs=1, cache_dir=str(tmp_path))
+        run_sweep(toy_registered, **kwargs)
+        changed = run_sweep(toy_registered, root_seed=99, **kwargs)
+        assert changed.cache_hits == 0
+
+    def test_changed_code_version_misses(self, tmp_path, toy_registered):
+        kwargs = dict(seeds=2, jobs=1)
+        run_sweep(toy_registered,
+                  cache=ResultCache(str(tmp_path), version="v1"), **kwargs)
+        changed = run_sweep(
+            toy_registered,
+            cache=ResultCache(str(tmp_path), version="v2"), **kwargs)
+        assert changed.cache_hits == 0
+
+    def test_corrupted_entry_recomputed(self, tmp_path, toy_registered):
+        cache = ResultCache(str(tmp_path), version="v1")
+        kwargs = dict(seeds=2, jobs=1, cache=cache)
+        first = run_sweep(toy_registered, **kwargs)
+        victim = first.specs[0]
+        with open(cache.path(victim), "w") as handle:
+            handle.write("garbage")
+        second = run_sweep(toy_registered, **kwargs)
+        assert (second.cache_hits, second.cache_misses) == (1, 1)
+        assert ([r["result"] for r in second.records]
+                == [r["result"] for r in first.records])
+
+    def test_no_cache_mode(self, tmp_path, toy_registered):
+        kwargs = dict(seeds=2, jobs=1, cache_dir=str(tmp_path),
+                      use_cache=False)
+        run_sweep(toy_registered, **kwargs)
+        again = run_sweep(toy_registered, **kwargs)
+        assert again.cache_hits == 0
+        assert again.cache_dir is None
