@@ -1,17 +1,21 @@
 """Command-line runner: regenerate any paper experiment from the shell.
 
     python -m repro list                 # what can be run
+    python -m repro list --params        # with typed parameter tables
     python -m repro run fig5_7           # one experiment
     python -m repro run fig6_5 fig6_6    # several
     python -m repro run fig6_6 --seed 3  # at a non-default seed
     python -m repro run all              # everything (minutes)
     python -m repro sweep fig6_6 --seeds 8 --jobs 4 --out /tmp/sweep
+    python -m repro sweep fig6_6 --seeds 8 --shard 0/2 --out /tmp/s0
+    python -m repro merge /tmp/s0 /tmp/s1 --out /tmp/merged
 
 ``run`` prints the same series its bench writes to
 ``benchmarks/results/`` (see EXPERIMENTS.md for the paper-vs-measured
 reading guide); ``sweep`` Monte-Carlos an experiment across derived
-seeds/parameter grids with caching and JSON/CSV artifacts (see the
-"Sweeps" section of EXPERIMENTS.md).
+seeds/parameter grids with caching, retry/timeout fault tolerance and
+JSON/CSV artifacts; ``merge`` unions the outputs of ``--shard`` runs
+back into one aggregate (see the "Sweeps" section of EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -23,30 +27,44 @@ from typing import List
 
 def main(argv: List[str]) -> int:
     from repro.eval import registry
-    from repro.sweep.cli import add_sweep_parser, cmd_sweep
+    from repro.sweep.cli import (
+        add_merge_parser,
+        add_sweep_parser,
+        cmd_merge,
+        cmd_sweep,
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's experiments.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list runnable experiments")
+    lister = sub.add_parser("list", help="list runnable experiments")
+    lister.add_argument("--params", action="store_true",
+                        help="also print each experiment's typed "
+                             "parameter table")
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument("names", nargs="+",
                      help="experiment names (or 'all')")
     run.add_argument("--seed", type=int, default=None,
                      help="random seed for experiments that accept one")
     add_sweep_parser(sub)
+    add_merge_parser(sub)
     args = parser.parse_args(argv)
 
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "merge":
+        return cmd_merge(args)
 
     if args.command == "list":
         width = max(len(name) for name in registry.names())
         for name, spec in registry.registry().items():
             seeded = " [seeded]" if spec.accepts_seed else ""
             print(f"{name:<{width}}  {spec.description}{seeded}")
+            if args.params:
+                for param in spec.params:
+                    print(f"{'':<{width}}    --param {param.describe()}")
         return 0
 
     names = (registry.names() if "all" in args.names else args.names)
@@ -73,4 +91,12 @@ def main(argv: List[str]) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not our error.  Point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

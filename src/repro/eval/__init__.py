@@ -6,6 +6,13 @@ same functions so results are consistent everywhere.
 """
 
 from repro.eval.metrics import DetectionMetrics, score_round_findings
+from repro.eval.results import (
+    EvalResult,
+    EvalResultBase,
+    deserialize_result,
+    register_result_type,
+    serialize_result,
+)
 from repro.eval.scenarios import (
     DropTailScenario,
     REDScenario,
@@ -15,7 +22,12 @@ from repro.eval.scenarios import (
 
 __all__ = [
     "DetectionMetrics",
+    "EvalResult",
+    "EvalResultBase",
+    "deserialize_result",
+    "register_result_type",
     "score_round_findings",
+    "serialize_result",
     "DropTailScenario",
     "REDScenario",
     "build_droptail_scenario",

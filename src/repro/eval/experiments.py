@@ -33,6 +33,7 @@ from repro.core.segments import (
 )
 from repro.core.static_threshold import StaticThresholdDetector
 from repro.eval.metrics import DetectionMetrics, score_round_findings
+from repro.eval.results import EvalResultBase, register_result_type
 from repro.eval.scenarios import (
     DropTailScenario,
     REDScenario,
@@ -65,8 +66,9 @@ def _topology(name: str) -> Topology:
 # Figures 5.2 / 5.4 — |P_r| vs k
 # ---------------------------------------------------------------------------
 
+@register_result_type
 @dataclass
-class PrCurve:
+class PrCurve(EvalResultBase):
     topology: str
     protocol: str  # "pi2" | "pik2"
     series: Dict[int, Dict[str, float]] = field(default_factory=dict)
@@ -113,8 +115,9 @@ def fig5_4_pr_pik2(topology: str = "sprintlink",
     return curve
 
 
+@register_result_type
 @dataclass
-class StateOverheadResult:
+class StateOverheadResult(EvalResultBase):
     topology: str
     watchers_mean: float
     watchers_max: float
@@ -137,6 +140,16 @@ class StateOverheadResult:
             "pik2_counters": {str(k): dict(s)
                               for k, s in sorted(self.pik2_counters.items())},
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StateOverheadResult":
+        return cls(
+            topology=data["topology"],
+            watchers_mean=data["watchers_mean"],
+            watchers_max=data["watchers_max"],
+            pik2_counters={int(k): dict(s)
+                           for k, s in data["pik2_counters"].items()},
+        )
 
 
 def state_overhead(topology: str = "sprintlink",
@@ -167,8 +180,9 @@ def state_overhead(topology: str = "sprintlink",
 # Fig 5.7 — Fatih in progress
 # ---------------------------------------------------------------------------
 
+@register_result_type
 @dataclass
-class FatihTimelineResult:
+class FatihTimelineResult(EvalResultBase):
     convergence_time: Optional[float]
     attack_time: float
     first_detection: Optional[float]
@@ -203,6 +217,20 @@ class FatihTimelineResult:
             "detection_latency": self.detection_latency,
             "response_latency": self.response_latency,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FatihTimelineResult":
+        return cls(
+            convergence_time=data["convergence_time"],
+            attack_time=data["attack_time"],
+            first_detection=data["first_detection"],
+            reroute_time=data["reroute_time"],
+            rtt_before=data["rtt_before"],
+            rtt_after=data["rtt_after"],
+            suspected_segments=[tuple(s)
+                                for s in data["suspected_segments"]],
+            probes_lost=data["probes_lost"],
+        )
 
 
 def fig5_7_fatih(
@@ -266,8 +294,9 @@ def fig5_7_fatih(
 # Fig 6.2 — single-loss confidence curve
 # ---------------------------------------------------------------------------
 
+@register_result_type
 @dataclass
-class ConfidenceCurve:
+class ConfidenceCurve(EvalResultBase):
     q_limit: float
     mu: float
     sigma: float
@@ -280,6 +309,12 @@ class ConfidenceCurve:
             "sigma": self.sigma,
             "points": [list(p) for p in self.points],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfidenceCurve":
+        return cls(q_limit=data["q_limit"], mu=data["mu"],
+                   sigma=data["sigma"],
+                   points=[tuple(p) for p in data["points"]])
 
 
 def fig6_2_confidence_curve(q_limit: float = 30_000.0,
@@ -299,8 +334,9 @@ def fig6_2_confidence_curve(q_limit: float = 30_000.0,
 # Droptail scenarios — Figs 6.3, 6.5-6.9 + χ vs static threshold
 # ---------------------------------------------------------------------------
 
+@register_result_type
 @dataclass
-class ScenarioResult:
+class ScenarioResult(EvalResultBase):
     name: str
     metrics: DetectionMetrics
     total_drops: int
@@ -461,8 +497,9 @@ def fig6_9_attack4(seed: int = 0, tau: float = 2.0,
     )
 
 
+@register_result_type
 @dataclass
-class NsSimPoint:
+class NsSimPoint(EvalResultBase):
     drop_rate: float
     detected: bool
     detection_latency_rounds: Optional[int]
@@ -500,8 +537,9 @@ def fig6_3_ns_simulation(
     return points
 
 
+@register_result_type
 @dataclass
-class ThresholdComparison:
+class ThresholdComparison(EvalResultBase):
     """§6.4.3: χ vs static thresholds on the same pair of traces.
 
     The paper's argument is quantified two ways: a threshold low enough
@@ -543,6 +581,23 @@ class ThresholdComparison:
             "benign_max_losses": self.benign_max_losses,
             "attack_mean_losses": self.attack_mean_losses,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ThresholdComparison":
+        return cls(
+            thresholds=list(data["thresholds"]),
+            static_fp_rounds={int(k): v for k, v
+                              in data["static_fp_rounds"].items()},
+            static_detected={int(k): v for k, v
+                             in data["static_detected"].items()},
+            static_free_drops={int(k): v for k, v
+                               in data["static_free_drops"].items()},
+            chi_fp_rounds=data["chi_fp_rounds"],
+            chi_detected=data["chi_detected"],
+            total_malicious_drops=data["total_malicious_drops"],
+            benign_max_losses=data["benign_max_losses"],
+            attack_mean_losses=data["attack_mean_losses"],
+        )
 
 
 def chi_vs_static_threshold(
@@ -712,8 +767,9 @@ def fig6_16_red_attack5(seed: int = 0) -> ScenarioResult:
 # Baseline demonstrations (Ch. 3 figures)
 # ---------------------------------------------------------------------------
 
+@register_result_type
 @dataclass
-class BaselineDemo:
+class BaselineDemo(EvalResultBase):
     name: str
     description: str
     values: Dict[str, object] = field(default_factory=dict)
@@ -828,8 +884,9 @@ def awerbuch_localization_demo(path_length: int = 9) -> BaselineDemo:
 # §6.1.2 — why traffic modeling is not enough
 # ---------------------------------------------------------------------------
 
+@register_result_type
 @dataclass
-class ModelingComparison:
+class ModelingComparison(EvalResultBase):
     predicted_loss_prob: float
     observed_loss_rate: float
     relative_error: float
@@ -869,8 +926,9 @@ def traffic_modeling_comparison(seed: int = 0) -> ModelingComparison:
 # §2.4.3 — response strategy ablation
 # ---------------------------------------------------------------------------
 
+@register_result_type
 @dataclass
-class ResponseImpact:
+class ResponseImpact(EvalResultBase):
     strategy: str  # "segment" | "router"
     unreachable_pairs: int
     mean_stretch: float  # constrained/unconstrained shortest-path cost

@@ -6,10 +6,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.chi import RoundFinding
+from repro.eval.results import EvalResultBase, register_result_type
 
 
+@register_result_type
 @dataclass
-class DetectionMetrics:
+class DetectionMetrics(EvalResultBase):
     """Round-level confusion for a detector on one experiment."""
 
     attack_rounds: int = 0

@@ -6,13 +6,20 @@ its result for the terminal.  Because specs reference module-level
 callables only, an experiment can be named by string, shipped to a
 worker process, executed there, and its result serialized — which is
 what ``python -m repro sweep`` does.
+
+Every spec carries a typed :class:`ParamSpec` table (name, type,
+default, choices), derived from the experiment function's signature
+unless declared explicitly.  CLI ``--param``/``--grid`` values are
+coerced and validated against that table **before** any worker starts,
+so a typo'd parameter fails in milliseconds with an actionable message
+instead of deep inside a process pool.
 """
 
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.eval import experiments as ex
 
@@ -100,36 +107,158 @@ def baseline_demos() -> List[ex.BaselineDemo]:
 # Specs
 # ---------------------------------------------------------------------------
 
+class ParamError(ValueError):
+    """A CLI/API parameter failed validation against an experiment spec."""
+
+
+_MISSING = object()  # "no default declared" sentinel (None is a real default)
+
+#: Annotation spellings we coerce; anything else passes through untouched.
+_ANNOTATION_TYPES = {
+    "int": int, "float": float, "bool": bool, "str": str,
+    int: int, float: float, bool: bool, str: str,
+}
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared experiment parameter: name, type, default, choices.
+
+    ``type=None`` means untyped — any value passes through.  ``choices``
+    restricts accepted values after coercion.
+    """
+
+    name: str
+    type: Optional[type] = None
+    default: object = _MISSING
+    choices: Optional[Tuple[object, ...]] = None
+
+    @property
+    def required(self) -> bool:
+        return self.default is _MISSING
+
+    def coerce(self, value: object, *, experiment: str = "") -> object:
+        """Convert/validate one value, raising an actionable ParamError."""
+        where = f"experiment {experiment!r} " if experiment else ""
+        coerced = value
+        if self.type is not None and value is not None:
+            if self.type is bool and not isinstance(value, bool):
+                text = str(value).lower()
+                if text in ("true", "1", "yes"):
+                    coerced = True
+                elif text in ("false", "0", "no"):
+                    coerced = False
+                else:
+                    raise ParamError(
+                        f"{where}parameter {self.name!r} expects bool, "
+                        f"got {value!r} (use true/false)")
+            elif isinstance(value, bool) and self.type in (int, float):
+                raise ParamError(
+                    f"{where}parameter {self.name!r} expects "
+                    f"{self.type.__name__}, got bool {value!r}")
+            elif not isinstance(value, self.type):
+                try:
+                    coerced = self.type(value)
+                except (TypeError, ValueError):
+                    raise ParamError(
+                        f"{where}parameter {self.name!r} expects "
+                        f"{self.type.__name__}, got {value!r}") from None
+        if self.choices is not None and coerced not in self.choices:
+            raise ParamError(
+                f"{where}parameter {self.name!r} must be one of "
+                f"{', '.join(repr(c) for c in self.choices)}; "
+                f"got {coerced!r}")
+        return coerced
+
+    def describe(self) -> str:
+        bits = [self.name]
+        if self.type is not None:
+            bits.append(f": {self.type.__name__}")
+        if self.default is not _MISSING:
+            bits.append(f" = {self.default!r}")
+        if self.choices is not None:
+            bits.append(" in {" + ", ".join(repr(c) for c in self.choices)
+                        + "}")
+        return "".join(bits)
+
+
+def params_from_signature(fn: Callable[..., object]) -> Tuple[ParamSpec, ...]:
+    """Derive a ParamSpec table from a function's signature.
+
+    Only simple scalar annotations (int/float/bool/str) become typed;
+    sequences, unions and exotica stay untyped so arbitrary Python
+    values can still be passed through the API.
+    """
+    specs = []
+    for param in inspect.signature(fn).parameters.values():
+        if param.kind not in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY):
+            continue
+        annotation = param.annotation
+        declared = _ANNOTATION_TYPES.get(annotation)
+        default = (_MISSING if param.default is inspect.Parameter.empty
+                   else param.default)
+        if declared is None and default is not _MISSING \
+                and isinstance(default, (int, float, bool, str)):
+            declared = type(default)
+        specs.append(ParamSpec(param.name, declared, default))
+    return tuple(specs)
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One runnable experiment: a picklable function plus its reporter."""
+    """One runnable experiment: a picklable function, reporter, params.
+
+    ``params`` is the typed parameter table; leave it empty and it is
+    derived from ``fn``'s signature (explicit entries override the
+    derived ones by name, so a spec can e.g. add ``choices`` to one
+    parameter without restating the rest).
+    """
 
     name: str
     fn: Callable[..., object]
     reporter: Callable[[object], List[str]]
     defaults: Tuple[Tuple[str, object], ...] = ()
     description: str = ""
+    params: Tuple[ParamSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        derived = params_from_signature(self.fn)
+        overrides = {p.name: p for p in self.params}
+        unknown = sorted(set(overrides) - {p.name for p in derived})
+        if unknown:
+            raise ValueError(
+                f"experiment {self.name!r} declares ParamSpec(s) "
+                f"{', '.join(unknown)} not in {self.fn.__name__}'s "
+                f"signature")
+        merged = tuple(overrides.get(p.name, p) for p in derived)
+        object.__setattr__(self, "params", merged)
 
     @property
     def param_names(self) -> Tuple[str, ...]:
-        sig = inspect.signature(self.fn)
-        return tuple(p.name for p in sig.parameters.values()
-                     if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY))
+        return tuple(p.name for p in self.params)
 
     @property
     def accepts_seed(self) -> bool:
         return "seed" in self.param_names
 
+    def param_spec(self, name: str) -> ParamSpec:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise ParamError(
+            f"experiment {self.name!r} does not accept parameter "
+            f"{name!r}; accepted: {', '.join(self.param_names) or '(none)'}")
+
+    def coerce_params(self, values: Mapping[str, object]) -> Dict[str, object]:
+        """Validate/coerce a parameter mapping against the table."""
+        return {name: self.param_spec(name).coerce(value,
+                                                   experiment=self.name)
+                for name, value in values.items()}
+
     def run(self, **params):
         merged = dict(self.defaults)
         merged.update(params)
-        unknown = sorted(set(merged) - set(self.param_names))
-        if unknown:
-            raise ValueError(
-                f"experiment {self.name!r} does not accept parameter(s) "
-                f"{', '.join(unknown)}; accepted: "
-                f"{', '.join(self.param_names) or '(none)'}")
-        return self.fn(**merged)
+        return self.fn(**self.coerce_params(merged))
 
     def report(self, result) -> List[str]:
         return self.reporter(result)

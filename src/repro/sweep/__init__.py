@@ -1,11 +1,15 @@
-"""Parallel Monte-Carlo sweep engine with result caching.
+"""Fault-tolerant parallel Monte-Carlo sweep engine with result caching.
 
 ``python -m repro sweep <experiment> --seeds N --jobs J`` fans any
 registered experiment across a process pool — seeds derived
 deterministically from a root seed, finished runs cached on disk under
-``.repro-cache/``, per-sweep JSON/CSV artifacts plus mean/median/CI
-aggregates emitted per sweep.  See the "Sweeps" sections of README.md
-and EXPERIMENTS.md.
+``.repro-cache/`` (LRU size-capped via ``--cache-max-mb``), failed or
+timed-out runs retried with exponential backoff and worker crashes
+survived, per-sweep JSON/CSV artifacts plus mean/median/CI aggregates
+emitted per sweep.  ``--shard i/n`` runs one deterministic slice of the
+run list; ``python -m repro merge`` unions shard outputs back into one
+aggregate identical to an unsharded run.  See the "Sweeps" sections of
+README.md and EXPERIMENTS.md.
 """
 
 from repro.sweep.aggregate import aggregate_records, flatten_numeric, summarize
@@ -17,13 +21,26 @@ from repro.sweep.grid import (
     expand_grid,
     parse_grid_assignments,
     parse_param_assignments,
+    parse_shard,
+    shard_specs,
 )
+from repro.sweep.merge import (
+    MergeError,
+    load_manifest,
+    merge_manifests,
+    merge_sweep_dirs,
+)
+from repro.sweep.retry import RetryPolicy, RunTimeoutError, SweepError
 from repro.sweep.runner import SweepResult, execute_spec, run_sweep
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "MergeError",
     "ResultCache",
+    "RetryPolicy",
     "RunSpec",
+    "RunTimeoutError",
+    "SweepError",
     "SweepResult",
     "aggregate_records",
     "code_version",
@@ -31,10 +48,15 @@ __all__ = [
     "execute_spec",
     "expand_grid",
     "flatten_numeric",
+    "load_manifest",
+    "merge_manifests",
+    "merge_sweep_dirs",
     "parse_grid_assignments",
     "parse_param_assignments",
+    "parse_shard",
     "result_to_dict",
     "run_sweep",
+    "shard_specs",
     "summarize",
     "write_sweep_artifacts",
 ]

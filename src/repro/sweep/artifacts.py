@@ -1,59 +1,59 @@
 """Structured sweep artifacts: a JSON manifest plus per-run/aggregate CSV.
 
-Artifact schema (``sweep.json``, ``schema: repro.sweep/v1``)::
+Artifact schema (``sweep.json``, ``schema: repro.sweep/v2``)::
 
     {
-      "schema": "repro.sweep/v1",
+      "schema": "repro.sweep/v2",
       "experiment": "fig6_6",
       "root_seed": 0,
       "params": {...},            # fixed parameters
       "grid": {...},              # swept axes (name -> values)
       "n_runs": 8, "seeds": 8, "jobs": 4,
+      "n_failed": 0,              # cells that exhausted their retries
+      "n_total": 8,               # full unsharded run count
+      "shard": {"index": 0, "count": 2} | null,
       "code_version": "deadbeef01234567",
       "cache": {"hits": 0, "misses": 8, "dir": ".repro-cache"},
       "elapsed_s": 4.2,
-      "runs": [ {"seed_index", "seed", "params", "elapsed_s",
-                 "cached", "result": {...}} , ... ],
+      "runs": [ {"seed_index", "seed", "params", "elapsed_s", "cached",
+                 "status": "ok"|"failed", "attempts",
+                 "result_type", "result": {...} | null,
+                 "error": {kind, type, message}?} , ... ],
       "aggregate": { "<dotted.field>": {n, mean, median, std,
                                         min, max, ci95}, ... }
     }
 
 ``runs.csv`` holds one row per run with the flattened numeric result
-fields as columns; ``aggregate.csv`` one row per aggregated field.
+fields as columns (blank for failed runs); ``aggregate.csv`` one row per
+aggregated field, computed over successful runs only.
 """
 
 from __future__ import annotations
 
 import csv
-import dataclasses
 import json
 import os
-from typing import Dict, List, Mapping
+import warnings
+from typing import Dict, List
 
+from repro.eval.results import serialize_result
 from repro.sweep.aggregate import flatten_numeric
 
-MANIFEST_SCHEMA = "repro.sweep/v1"
+MANIFEST_SCHEMA = "repro.sweep/v2"
 
 
 def result_to_dict(result) -> object:
-    """Serialize any experiment result to JSON-safe plain data.
+    """Deprecated alias for :func:`repro.eval.results.serialize_result`.
 
-    Prefers the type's own ``to_dict``; falls back to dataclass fields,
-    containers, then ``repr`` for anything exotic.
+    Kept for one release so external callers keep working; the generic
+    encoder now lives with the :class:`~repro.eval.results.EvalResult`
+    protocol it serves.
     """
-    if hasattr(result, "to_dict"):
-        return result_to_dict(result.to_dict())
-    if dataclasses.is_dataclass(result) and not isinstance(result, type):
-        return {f.name: result_to_dict(getattr(result, f.name))
-                for f in dataclasses.fields(result)}
-    if isinstance(result, Mapping):
-        return {str(k): result_to_dict(v) for k, v in result.items()}
-    if isinstance(result, (list, tuple, set, frozenset)):
-        items = sorted(result) if isinstance(result, (set, frozenset)) else result
-        return [result_to_dict(v) for v in items]
-    if isinstance(result, (str, int, float, bool)) or result is None:
-        return result
-    return repr(result)
+    warnings.warn(
+        "repro.sweep.artifacts.result_to_dict is deprecated; use "
+        "repro.eval.results.serialize_result",
+        DeprecationWarning, stacklevel=2)
+    return serialize_result(result)
 
 
 def write_sweep_artifacts(sweep, out_dir: str) -> Dict[str, str]:
@@ -76,7 +76,8 @@ def write_sweep_artifacts(sweep, out_dir: str) -> Dict[str, str]:
     flat_runs: List[Dict[str, object]] = []
     numeric_columns: List[str] = []
     for record in sweep.records:
-        flat = flatten_numeric(record.get("result", {}))
+        flat = (flatten_numeric(record.get("result") or {})
+                if record.get("status", "ok") == "ok" else {})
         for column in flat:
             if column not in numeric_columns:
                 numeric_columns.append(column)
@@ -84,12 +85,14 @@ def write_sweep_artifacts(sweep, out_dir: str) -> Dict[str, str]:
     with open(paths["runs.csv"], "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["experiment", "seed_index", "seed", "params",
-                         "cached", "elapsed_s"] + numeric_columns)
+                         "cached", "status", "elapsed_s"]
+                        + numeric_columns)
         for record, flat in zip(sweep.records, flat_runs):
             writer.writerow(
                 [record["experiment"], record["seed_index"], record["seed"],
                  json.dumps(record["params"], sort_keys=True, default=str),
                  int(bool(record.get("cached"))),
+                 record.get("status", "ok"),
                  f"{record.get('elapsed_s', 0.0):.4f}"]
                 + [flat.get(column, "") for column in numeric_columns])
 

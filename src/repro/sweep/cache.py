@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache for sweeps.
+"""Content-addressed on-disk result cache for sweeps, with LRU eviction.
 
 Entries live under ``.repro-cache/<experiment>/<key>.json`` where the key
 is a SHA-256 over (experiment name, grid-point parameters, derived seed,
@@ -7,6 +7,15 @@ code version).  The code version is itself a content hash of every
 entries without bookkeeping.  A corrupted or mismatched entry is deleted
 and treated as a miss — the cache is a pure accelerator, never a source
 of truth.
+
+A sidecar ``index.json`` tracks each entry's size and last-use time so
+the cache can be size-capped (``max_bytes``): when a store pushes the
+total over the cap, least-recently-used entries are deleted until it
+fits.  Index updates happen under an ``fcntl`` file lock with
+write-temp-then-rename, so concurrent sweep processes sharing one cache
+directory (e.g. two shards on one host) never corrupt it; losing a race
+at worst re-records a timestamp.  ``max_bytes=None`` (the default)
+keeps the historical unbounded behavior.
 """
 
 from __future__ import annotations
@@ -15,12 +24,21 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
 
 from repro.sweep.grid import RunSpec
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 DEFAULT_CACHE_DIR = ".repro-cache"
 ENTRY_SCHEMA = "repro.sweep.cache/v1"
+INDEX_NAME = "index.json"
+LOCK_NAME = "index.lock"
 
 _code_version_memo: Dict[str, str] = {}
 
@@ -54,10 +72,14 @@ class ResultCache:
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR,
                  version: Optional[str] = None,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
         self.root = root
         self.version = version if version is not None else code_version()
         self.enabled = enabled
+        self.max_bytes = max_bytes
 
     def key(self, spec: RunSpec) -> str:
         payload = json.dumps({
@@ -92,6 +114,7 @@ class ResultCache:
                 or not isinstance(entry.get("record"), dict)):
             self._discard(path)
             return None
+        self._record_use(path)
         return entry["record"]
 
     def store(self, spec: RunSpec, record: dict) -> None:
@@ -119,6 +142,114 @@ class ResultCache:
         except BaseException:
             self._discard(tmp_path)
             raise
+        self._record_use(path)
+
+    # -- LRU index ---------------------------------------------------------
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, INDEX_NAME)
+
+    @contextmanager
+    def _index_lock(self):
+        """Serialize index read-modify-write across processes."""
+        os.makedirs(self.root, exist_ok=True)
+        with open(os.path.join(self.root, LOCK_NAME), "w") as lock:
+            if fcntl is not None:
+                fcntl.flock(lock, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(lock, fcntl.LOCK_UN)
+
+    def _read_index(self) -> Dict[str, Dict[str, float]]:
+        try:
+            with open(self.index_path, "r") as handle:
+                index = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        return index if isinstance(index, dict) else {}
+
+    def _write_index(self, index: Dict[str, Dict[str, float]]) -> None:
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(index, handle)
+            os.replace(tmp_path, self.index_path)
+        except BaseException:
+            self._discard(tmp_path)
+            raise
+
+    def _record_use(self, path: str) -> None:
+        """Bump one entry's last-use row; evict if over the size cap."""
+        with self._index_lock():
+            index = self._read_index()
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                return
+            index[os.path.relpath(path, self.root)] = {
+                "size": size, "used": time.time()}
+            if self.max_bytes is not None:
+                self._evict_locked(index)
+            self._write_index(index)
+
+    def _entries_on_disk(self) -> Dict[str, os.stat_result]:
+        entries: Dict[str, os.stat_result] = {}
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for filename in filenames:
+                if not filename.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                if os.path.abspath(path) == os.path.abspath(self.index_path):
+                    continue
+                try:
+                    entries[os.path.relpath(path, self.root)] = os.stat(path)
+                except OSError:
+                    continue
+        return entries
+
+    def _evict_locked(self, index: Dict[str, Dict[str, float]]) -> List[str]:
+        """Delete LRU entries until the cache fits ``max_bytes``.
+
+        Reconciles the index against the directory first: rows for
+        vanished files are dropped, untracked entry files (pre-index
+        caches, racing writers) are adopted with their mtime as the
+        last-use time.
+        """
+        on_disk = self._entries_on_disk()
+        for rel in list(index):
+            if rel not in on_disk:
+                del index[rel]
+        for rel, stat in on_disk.items():
+            if rel not in index:
+                index[rel] = {"size": stat.st_size, "used": stat.st_mtime}
+        total = sum(row["size"] for row in index.values())
+        evicted: List[str] = []
+        for rel in sorted(index, key=lambda r: index[r]["used"]):
+            if total <= self.max_bytes:
+                break
+            self._discard(os.path.join(self.root, rel))
+            total -= index[rel]["size"]
+            del index[rel]
+            evicted.append(rel)
+        return evicted
+
+    def evict(self) -> List[str]:
+        """Run one eviction cycle now; returns evicted entry paths."""
+        if self.max_bytes is None or not self.enabled:
+            return []
+        with self._index_lock():
+            index = self._read_index()
+            evicted = self._evict_locked(index)
+            self._write_index(index)
+        return evicted
+
+    def size_bytes(self) -> int:
+        """Total bytes of entry files currently on disk."""
+        return sum(stat.st_size
+                   for stat in self._entries_on_disk().values())
 
     @staticmethod
     def _discard(path: str) -> None:

@@ -1,4 +1,4 @@
-"""The ``python -m repro sweep`` subcommand."""
+"""The ``python -m repro sweep`` and ``python -m repro merge`` subcommands."""
 
 from __future__ import annotations
 
@@ -8,7 +8,12 @@ from typing import List
 
 from repro.sweep.artifacts import write_sweep_artifacts
 from repro.sweep.cache import DEFAULT_CACHE_DIR
-from repro.sweep.grid import parse_grid_assignments, parse_param_assignments
+from repro.sweep.grid import (
+    parse_grid_assignments,
+    parse_param_assignments,
+    parse_shard,
+)
+from repro.sweep.retry import RetryPolicy, SweepError
 from repro.sweep.runner import run_sweep
 
 
@@ -21,7 +26,10 @@ def add_sweep_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
             "parameter grid) on a process pool, aggregate "
             "mean/median/std/CI statistics, and write JSON/CSV artifacts. "
             "Finished runs are cached under .repro-cache/ and reused "
-            "until code or parameters change."),
+            "until code or parameters change.  Failed or timed-out runs "
+            "are retried with exponential backoff, then marked failed; "
+            "--shard i/n runs one deterministic slice of the sweep for "
+            "later `repro merge`."),
     )
     parser.add_argument("experiment", help="registered experiment name")
     parser.add_argument("--seeds", type=int, default=8, metavar="N",
@@ -43,15 +51,57 @@ def add_sweep_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
     parser.add_argument("--root-seed", type=int, default=0, metavar="S",
                         help="root seed all per-run seeds derive from "
                              "(default 0)")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="run only shard I of N (deterministic "
+                             "partition of the run list; merge shard "
+                             "outputs with `repro merge`)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-run timeout in seconds "
+                             "(default: no timeout)")
+    parser.add_argument("--retries", type=int, default=2, metavar="R",
+                        help="retries per failed run before marking it "
+                             "failed (default 2)")
+    parser.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="S",
+                        help="base backoff between retry rounds, doubled "
+                             "each round (default 0.5 s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail fast: first failed run aborts the "
+                             "sweep instead of being retried/recorded")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         metavar="DIR",
                         help=f"result cache location "
                              f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--cache-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="cap the cache at MB megabytes, evicting "
+                             "least-recently-used entries (default: "
+                             "unbounded)")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every run; do not read or write "
                              "the cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
+    return parser
+
+
+def add_merge_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "merge",
+        help="merge sharded sweep outputs into one aggregate",
+        description=(
+            "Union the sweep.json manifests of several --shard runs of "
+            "the same sweep (validating that shards are disjoint and "
+            "share identical sweep coordinates) and write merged "
+            "artifacts identical to an unsharded run."),
+    )
+    parser.add_argument("dirs", nargs="+", metavar="DIR",
+                        help="sweep output directories (each holding a "
+                             "sweep.json)")
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="directory for the merged artifacts")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-shard summary lines")
     return parser
 
 
@@ -61,10 +111,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         params = parse_param_assignments(args.param)
         grid = parse_grid_assignments(args.grid)
+        shard = parse_shard(args.shard) if args.shard else None
+        retry = RetryPolicy(max_attempts=max(1, args.retries + 1),
+                            timeout_s=args.timeout,
+                            backoff_s=args.retry_backoff)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
     progress = None if args.quiet else (lambda line: print(line, flush=True))
+    cache_max_bytes = (int(args.cache_max_mb * 1024 * 1024)
+                       if args.cache_max_mb is not None else None)
     try:
         sweep = run_sweep(
             args.experiment,
@@ -75,8 +131,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             root_seed=args.root_seed,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            cache_max_bytes=cache_max_bytes,
+            shard=shard,
+            retry=retry,
+            strict=args.strict,
             progress=progress,
         )
+    except SweepError as error:
+        print(f"sweep aborted (--strict): {error}", file=sys.stderr)
+        return 1
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
         print(message, file=sys.stderr)
@@ -90,6 +153,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("aggregate (mean ± ci95 over runs):")
         for line in headline:
             print("  " + line)
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    import sys
+
+    from repro.sweep.merge import (
+        MergeError,
+        load_manifest,
+        merge_manifests,
+        shard_summary,
+    )
+
+    try:
+        manifests = [load_manifest(d) for d in args.dirs]
+        if not args.quiet:
+            for line in shard_summary(manifests):
+                print(line, flush=True)
+        merged = merge_manifests(manifests)
+    except MergeError as error:
+        print(f"merge failed: {error}", file=sys.stderr)
+        return 2
+    merged.artifact_paths = write_sweep_artifacts(merged, args.out)
+    for line in merged.summary_lines():
+        print(line)
     return 0
 
 

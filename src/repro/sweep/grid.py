@@ -67,6 +67,40 @@ class RunSpec:
         }
 
 
+def shard_specs(specs: Sequence[RunSpec], index: int,
+                count: int) -> List[RunSpec]:
+    """Deterministically partition a run list across ``count`` shards.
+
+    Spec *j* of the expanded list belongs to shard ``j % count`` — a
+    pure function of the sweep coordinates, so every host that expands
+    the same (experiment, params, grid, seeds, root_seed) agrees on the
+    partition without coordination, and striding balances slow grid
+    points across shards.
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} out of range for "
+                         f"{count} shard(s); expected 0..{count - 1}")
+    return [spec for j, spec in enumerate(specs) if j % count == index]
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``--shard i/n`` argument into ``(index, count)``."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"bad --shard {text!r}; expected i/n, e.g. 0/4") from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"bad --shard {text!r}; need 0 <= i < n")
+    return index, count
+
+
 def expand_grid(
     experiment: str,
     base_params: Optional[Mapping[str, object]] = None,

@@ -1,0 +1,160 @@
+"""Union shard ``sweep.json`` manifests into one aggregate sweep.
+
+``python -m repro merge <dir>... --out DIR`` reads the manifest each
+shard wrote, validates that the shards describe the *same* sweep
+(identical experiment, params, grid, seeds, root seed and code version)
+and are *disjoint* (no run claimed twice), re-orders the union into the
+canonical unsharded run order, recomputes the aggregate statistics, and
+writes artifacts identical to what a single-host run of the whole sweep
+would have produced — ``aggregate.csv`` matches bit-for-bit.
+
+Merging needs no experiment registry: the run order is reconstructed by
+re-expanding the (grid x seeds) coordinates recorded in the manifest,
+which is a pure function shared with the runner.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+from repro.sweep.aggregate import aggregate_records
+from repro.sweep.grid import RunSpec, expand_grid
+from repro.sweep.runner import SweepResult
+
+MERGEABLE_SCHEMAS = ("repro.sweep/v2",)
+
+#: Manifest fields that must agree across every shard of one sweep.
+COORDINATE_FIELDS = ("schema", "experiment", "root_seed", "seeds",
+                     "params", "grid", "n_total", "code_version")
+
+
+class MergeError(ValueError):
+    """Shard manifests that cannot be merged into one sweep."""
+
+
+def load_manifest(directory: str) -> dict:
+    """Read and sanity-check one shard's ``sweep.json``."""
+    path = os.path.join(directory, "sweep.json")
+    try:
+        with open(path, "r") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise MergeError(f"{directory}: no sweep.json found") from None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise MergeError(f"{path}: unreadable manifest "
+                         f"({error})") from None
+    if not isinstance(manifest, dict) \
+            or manifest.get("schema") not in MERGEABLE_SCHEMAS:
+        raise MergeError(
+            f"{path}: schema {manifest.get('schema')!r} is not "
+            f"mergeable; expected one of "
+            f"{', '.join(MERGEABLE_SCHEMAS)}")
+    manifest["_source"] = path
+    return manifest
+
+
+def _coordinates(manifest: dict) -> dict:
+    return {name: manifest.get(name) for name in COORDINATE_FIELDS}
+
+
+def _record_key(record: dict) -> str:
+    """A record's cell identity: its grid point plus seed index."""
+    spec = RunSpec(record["experiment"],
+                   tuple(sorted(record["params"].items())),
+                   record["seed_index"], record["seed"])
+    return spec.run_key
+
+
+def merge_manifests(manifests: Sequence[dict]) -> SweepResult:
+    """Union validated shard manifests into one in-order SweepResult."""
+    if not manifests:
+        raise MergeError("nothing to merge")
+    first = manifests[0]
+    reference = _coordinates(first)
+    for manifest in manifests[1:]:
+        coords = _coordinates(manifest)
+        if coords != reference:
+            diffs = [name for name in COORDINATE_FIELDS
+                     if coords[name] != reference[name]]
+            raise MergeError(
+                f"{manifest['_source']}: sweep coordinates differ from "
+                f"{first['_source']} in: {', '.join(diffs)}")
+
+    by_key: Dict[str, dict] = {}
+    for manifest in manifests:
+        for record in manifest.get("runs", []):
+            key = _record_key(record)
+            if key in by_key:
+                raise MergeError(
+                    f"shards are not disjoint: run "
+                    f"(params={record['params']}, "
+                    f"seed_index={record['seed_index']}) appears in "
+                    f"more than one shard")
+            by_key[key] = record
+
+    # Reconstruct the canonical unsharded order from the coordinates.
+    runs = list(by_key.values())
+    accepts_seed = any(record["seed"] is not None for record in runs)
+    specs = expand_grid(first["experiment"], first["params"],
+                        first["grid"], first["seeds"],
+                        first["root_seed"], accepts_seed=accepts_seed)
+    missing = [spec for spec in specs if spec.run_key not in by_key]
+    if missing:
+        cells = ", ".join(
+            f"(params={dict(spec.params)}, seed_index={spec.seed_index})"
+            for spec in missing[:5])
+        raise MergeError(
+            f"merged shards cover {len(by_key)}/{len(specs)} runs; "
+            f"missing {len(missing)} cell(s), e.g. {cells}")
+    extra = len(by_key) - len(specs)
+    if extra:
+        raise MergeError(
+            f"merged shards contain {extra} run(s) outside the sweep's "
+            f"own (grid x seeds) expansion")
+
+    records = [by_key[spec.run_key] for spec in specs]
+    aggregate = aggregate_records(
+        [record["result"] for record in records
+         if record.get("status", "ok") == "ok"])
+    return SweepResult(
+        experiment=first["experiment"],
+        root_seed=first["root_seed"],
+        seeds=first["seeds"],
+        jobs=max(manifest.get("jobs", 1) for manifest in manifests),
+        params=dict(first["params"]),
+        grid={k: list(v) for k, v in first["grid"].items()},
+        specs=specs,
+        records=records,
+        aggregate=aggregate,
+        cache_hits=sum(m.get("cache", {}).get("hits", 0)
+                       for m in manifests),
+        cache_misses=sum(m.get("cache", {}).get("misses", 0)
+                         for m in manifests),
+        cache_dir=first.get("cache", {}).get("dir"),
+        code_version=first["code_version"],
+        elapsed_s=sum(m.get("elapsed_s", 0.0) for m in manifests),
+        shard=None,
+        n_total=len(specs),
+    )
+
+
+def merge_sweep_dirs(directories: Sequence[str]) -> SweepResult:
+    """Load every directory's manifest and merge them."""
+    if not directories:
+        raise MergeError("no sweep directories given")
+    return merge_manifests([load_manifest(d) for d in directories])
+
+
+def shard_summary(manifests: Sequence[dict]) -> List[str]:
+    """One human line per shard, for merge progress output."""
+    lines = []
+    for manifest in manifests:
+        shard = manifest.get("shard")
+        label = (f"shard {shard['index']}/{shard['count']}" if shard
+                 else "unsharded")
+        lines.append(f"{manifest['_source']}: {label}, "
+                     f"{manifest.get('n_runs', 0)} runs, "
+                     f"{manifest.get('n_failed', 0)} failed")
+    return lines

@@ -1,40 +1,71 @@
-"""Process-pool sweep orchestration.
+"""Fault-tolerant, shardable process-pool sweep orchestration.
 
-:func:`run_sweep` expands a (grid x seeds) run list, answers what it can
-from the on-disk cache, fans the remaining runs across a
+:func:`run_sweep` expands a (grid x seeds) run list, optionally keeps
+only its shard of it (``shard=(i, n)`` — every host that expands the
+same coordinates agrees on the partition), answers what it can from the
+on-disk cache, and fans the remaining cells across a
 ``ProcessPoolExecutor`` (``jobs=1`` runs inline, bit-identical to the
-pool path since every run is fully determined by its :class:`RunSpec`),
-aggregates the serialized results, and hands back a
-:class:`SweepResult` ready for the artifact writer.
+pool path since every run is fully determined by its :class:`RunSpec`).
+
+Execution is round-based: each round submits every outstanding cell,
+collects successes and failures, then retries failed cells in the next
+round after an exponential backoff — up to ``RetryPolicy.max_attempts``
+tries per cell.  A worker killed mid-run (SIGKILL, OOM) breaks the pool;
+every cell that was in flight surfaces as a ``crash`` failure and the
+next round gets a fresh pool, so one poisoned cell exhausts its own
+attempts without sinking the sweep.  Cells that run out of attempts are
+recorded with ``status="failed"`` and excluded from aggregation;
+``strict=True`` restores fail-fast (first failure raises
+:class:`SweepError`, no retries).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from repro.sweep.aggregate import aggregate_records
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
-from repro.sweep.grid import RunSpec, expand_grid
+from repro.sweep.grid import RunSpec, expand_grid, shard_specs
+from repro.sweep.retry import (
+    KIND_CRASH,
+    RetryPolicy,
+    SweepError,
+    classify_error,
+    error_summary,
+    run_deadline,
+)
 
 
 def execute_spec(payload: dict) -> dict:
     """Run one sweep cell — the worker-process entry point.
 
     Takes the plain-dict payload of a :class:`RunSpec` (name + kwargs
-    only, so it pickles trivially) and returns a serialized run record.
+    only, so it pickles trivially), plus an optional ``timeout_s`` the
+    worker enforces on itself, and returns a serialized run record.
     """
-    from repro.eval.registry import run_experiment
-    from repro.sweep.artifacts import result_to_dict
+    from repro.eval import registry
+    from repro.eval.results import result_type_name, serialize_result
 
+    spec = registry.get(payload["experiment"])
     params = {key: value for key, value in payload["params"]}
     call_params = dict(params)
-    if payload["seed"] is not None:
-        call_params["seed"] = payload["seed"]
+    seed = payload.get("seed")
+    if seed is not None:
+        if spec.accepts_seed:
+            call_params["seed"] = seed
+        else:
+            warnings.warn(
+                f"experiment {payload['experiment']!r} takes no seed "
+                f"parameter; derived seed {seed} ignored (run is "
+                f"deterministic)", RuntimeWarning, stacklevel=2)
     started = time.perf_counter()
-    result = run_experiment(payload["experiment"], call_params)
+    with run_deadline(payload.get("timeout_s")):
+        result = spec.run(**call_params)
     elapsed = time.perf_counter() - started
     return {
         "experiment": payload["experiment"],
@@ -42,7 +73,26 @@ def execute_spec(payload: dict) -> dict:
         "seed": payload["seed"],
         "params": params,
         "elapsed_s": elapsed,
-        "result": result_to_dict(result),
+        "status": "ok",
+        "result_type": result_type_name(result),
+        "result": serialize_result(result),
+    }
+
+
+def failed_record(spec: RunSpec, error: BaseException,
+                  attempts: int) -> dict:
+    """The run record for a cell whose every attempt failed."""
+    return {
+        "experiment": spec.experiment,
+        "seed_index": spec.seed_index,
+        "seed": spec.seed,
+        "params": dict(spec.params),
+        "elapsed_s": 0.0,
+        "status": "failed",
+        "attempts": attempts,
+        "error": error_summary(error),
+        "result_type": "",
+        "result": None,
     }
 
 
@@ -64,15 +114,21 @@ class SweepResult:
     cache_dir: Optional[str]
     code_version: str
     elapsed_s: float = 0.0
+    shard: Optional[Tuple[int, int]] = None  # (index, count) or None
+    n_total: int = 0  # full unsharded run count
     artifact_paths: Dict[str, str] = field(default_factory=dict)
 
     @property
     def n_runs(self) -> int:
         return len(self.records)
 
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.records if r.get("status") == "failed")
+
     def manifest(self) -> dict:
         return {
-            "schema": "repro.sweep/v1",
+            "schema": "repro.sweep/v2",
             "experiment": self.experiment,
             "root_seed": self.root_seed,
             "seeds": self.seeds,
@@ -80,6 +136,10 @@ class SweepResult:
             "params": dict(self.params),
             "grid": {k: list(v) for k, v in self.grid.items()},
             "n_runs": self.n_runs,
+            "n_failed": self.n_failed,
+            "n_total": self.n_total or self.n_runs,
+            "shard": ({"index": self.shard[0], "count": self.shard[1]}
+                      if self.shard else None),
             "code_version": self.code_version,
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses,
                       "dir": self.cache_dir},
@@ -89,17 +149,143 @@ class SweepResult:
         }
 
     def summary_lines(self) -> List[str]:
+        shard = (f" [shard {self.shard[0]}/{self.shard[1]} of "
+                 f"{self.n_total or self.n_runs} runs]" if self.shard
+                 else "")
         lines = [
             f"sweep {self.experiment}: {self.n_runs} runs "
-            f"({self.seeds} seeds x {max(1, self.n_runs // max(1, self.seeds))} "
-            f"grid points), jobs={self.jobs}",
+            f"({self.seeds} seeds x "
+            f"{max(1, (self.n_total or self.n_runs) // max(1, self.seeds))} "
+            f"grid points), jobs={self.jobs}{shard}",
             f"cache: {self.cache_hits} hits, {self.cache_misses} misses "
             f"({self.cache_dir or 'disabled'})",
             f"elapsed: {self.elapsed_s:.2f} s",
         ]
+        if self.n_failed:
+            lines.append(f"FAILED runs: {self.n_failed}/{self.n_runs} "
+                         f"(see sweep.json run errors)")
         for path in sorted(self.artifact_paths.values()):
             lines.append(f"wrote {path}")
         return lines
+
+
+def _execute_pending(
+    specs: Sequence[RunSpec],
+    pending: Sequence[int],
+    *,
+    jobs: int,
+    policy: RetryPolicy,
+    strict: bool,
+    cache: ResultCache,
+    progress: Optional[Callable[[str], None]],
+) -> Dict[int, dict]:
+    """Round-based execution with retry: cell index -> final record."""
+    results: Dict[int, dict] = {}
+    attempts: Dict[int, int] = {index: 0 for index in pending}
+    queue: List[int] = list(pending)
+    total = len(pending)
+    completed = 0
+    retry_round = 0
+    isolate = False  # after a crash round: one single-worker pool per cell
+
+    def payload_for(index: int) -> dict:
+        payload = specs[index].payload()
+        if policy.timeout_s is not None:
+            payload["timeout_s"] = policy.timeout_s
+        return payload
+
+    while queue:
+        if retry_round:
+            delay = policy.backoff_delay(retry_round)
+            if delay:
+                time.sleep(delay)
+        failures: Dict[int, BaseException] = {}
+        fresh: Dict[int, dict] = {}
+        if jobs <= 1:
+            # Inline: no worker to crash, but also no crash isolation —
+            # a cell that kills its process kills the sweep (jobs>=2
+            # exists precisely to contain that).
+            for index in queue:
+                attempts[index] += 1
+                try:
+                    fresh[index] = execute_spec(payload_for(index))
+                except Exception as error:
+                    failures[index] = error
+        elif isolate:
+            # A worker crash breaks its whole pool, failing every cell
+            # in flight with it.  Rerun each suspect in its own
+            # single-worker pool so a poisoned cell exhausts only its
+            # own attempts and collateral cells complete normally.
+            for index in queue:
+                attempts[index] += 1
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    try:
+                        fresh[index] = pool.submit(
+                            execute_spec, payload_for(index)).result()
+                    except Exception as error:
+                        failures[index] = error
+        else:
+            # One pool per round: a crash poisons the pool, so
+            # surviving cells get a clean pool on the retry round.
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(queue))) as pool:
+                futures = {}
+                for index in queue:
+                    attempts[index] += 1
+                    futures[pool.submit(execute_spec,
+                                        payload_for(index))] = index
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        fresh[index] = future.result()
+                    except Exception as error:
+                        failures[index] = error
+        isolate = any(classify_error(error) == KIND_CRASH
+                      for error in failures.values())
+
+        for index in sorted(fresh):
+            record = fresh[index]
+            record["attempts"] = attempts[index]
+            cache.store(specs[index], record)
+            results[index] = record
+            completed += 1
+            if progress is not None:
+                progress(
+                    f"run {completed}/{total}: seed_index="
+                    f"{specs[index].seed_index} seed={specs[index].seed} "
+                    f"({record['elapsed_s']:.2f} s)")
+
+        retry_queue: List[int] = []
+        for index in sorted(failures):
+            error = failures[index]
+            spec = specs[index]
+            if strict:
+                raise SweepError(
+                    f"run seed_index={spec.seed_index} "
+                    f"seed={spec.seed} of {spec.experiment!r} failed "
+                    f"({error_summary(error)['kind']}): {error}"
+                ) from error
+            if policy.allows_retry(attempts[index]):
+                retry_queue.append(index)
+                if progress is not None:
+                    progress(
+                        f"retrying seed_index={spec.seed_index} "
+                        f"seed={spec.seed} (attempt "
+                        f"{attempts[index]}/{policy.max_attempts} "
+                        f"{error_summary(error)['kind']}: {error})")
+            else:
+                results[index] = failed_record(spec, error,
+                                               attempts[index])
+                completed += 1
+                if progress is not None:
+                    progress(
+                        f"run {completed}/{total}: seed_index="
+                        f"{spec.seed_index} seed={spec.seed} FAILED "
+                        f"after {attempts[index]} attempt(s) "
+                        f"({error_summary(error)['kind']}: {error})")
+        queue = retry_queue
+        retry_round += 1
+    return results
 
 
 def run_sweep(
@@ -113,12 +299,17 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     use_cache: bool = True,
     cache_dir: str = DEFAULT_CACHE_DIR,
+    cache_max_bytes: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    retry: Optional[RetryPolicy] = None,
+    strict: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     """Run ``experiment`` across (grid x seeds), cached and in parallel."""
     from repro.eval import registry
 
     spec_entry = registry.get(experiment)  # raises KeyError when unknown
+    policy = retry if retry is not None else RetryPolicy()
     params = dict(params or {})
     grid = {key: list(values) for key, values in (grid or {}).items()}
     overlap = set(params) & set(grid)
@@ -129,22 +320,30 @@ def run_sweep(
     if "seed" in params or "seed" in grid:
         raise ValueError("control seeds via --seeds/--root-seed, "
                          "not --param/--grid seed=...")
-    for key in list(params) + list(grid):
-        if key not in spec_entry.param_names:
-            raise ValueError(
-                f"experiment {experiment!r} does not accept parameter "
-                f"{key!r}; accepted: "
-                f"{', '.join(spec_entry.param_names) or '(none)'}")
+    # Coerce and validate against the ParamSpec table up front: a typo'd
+    # name, type or choice fails here, not minutes later in a worker.
+    params = spec_entry.coerce_params(params)
+    grid = {key: [spec_entry.param_spec(key).coerce(value,
+                                                    experiment=experiment)
+                  for value in values]
+            for key, values in grid.items()}
 
     n_seeds = seeds if spec_entry.accepts_seed else 1
     if not spec_entry.accepts_seed and seeds > 1 and progress is not None:
         progress(f"note: {experiment} takes no seed parameter; "
                  f"running 1 deterministic run per grid point")
-    specs = expand_grid(experiment, params, grid, n_seeds, root_seed,
-                        accepts_seed=spec_entry.accepts_seed)
+    all_specs = expand_grid(experiment, params, grid, n_seeds, root_seed,
+                            accepts_seed=spec_entry.accepts_seed)
+    n_total = len(all_specs)
+    specs = (shard_specs(all_specs, *shard) if shard is not None
+             else all_specs)
+    if shard is not None and progress is not None:
+        progress(f"shard {shard[0]}/{shard[1]}: {len(specs)} of "
+                 f"{n_total} runs")
 
     if cache is None:
-        cache = ResultCache(cache_dir, enabled=use_cache)
+        cache = ResultCache(cache_dir, enabled=use_cache,
+                            max_bytes=cache_max_bytes)
     started = time.perf_counter()
     records: List[Optional[dict]] = [None] * len(specs)
     pending: List[int] = []
@@ -162,25 +361,17 @@ def run_sweep(
         progress(f"cache: {hits}/{len(specs)} runs already computed")
 
     if pending:
-        payloads = [specs[index].payload() for index in pending]
-        if jobs <= 1 or len(pending) == 1:
-            fresh = [execute_spec(payload) for payload in payloads]
-        else:
-            with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(pending))) as pool:
-                fresh = list(pool.map(execute_spec, payloads))
-        for done, (index, record) in enumerate(zip(pending, fresh), 1):
-            cache.store(specs[index], record)
-            record = dict(record)
+        executed = _execute_pending(specs, pending, jobs=jobs,
+                                    policy=policy, strict=strict,
+                                    cache=cache, progress=progress)
+        for index in pending:
+            record = dict(executed[index])
             record["cached"] = False
             records[index] = record
-            if progress is not None:
-                progress(
-                    f"run {done}/{len(pending)}: seed_index="
-                    f"{specs[index].seed_index} seed={specs[index].seed} "
-                    f"({record['elapsed_s']:.2f} s)")
 
-    aggregate = aggregate_records([record["result"] for record in records])
+    aggregate = aggregate_records(
+        [record["result"] for record in records
+         if record.get("status", "ok") == "ok"])
     return SweepResult(
         experiment=experiment,
         root_seed=root_seed,
@@ -196,4 +387,6 @@ def run_sweep(
         cache_dir=cache.root if cache.enabled else None,
         code_version=cache.version,
         elapsed_s=time.perf_counter() - started,
+        shard=shard,
+        n_total=n_total,
     )

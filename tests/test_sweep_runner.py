@@ -8,6 +8,7 @@ import pytest
 
 from repro.eval import registry
 from repro.eval.registry import ExperimentSpec
+from repro.eval.results import serialize_result
 from repro.sweep.aggregate import aggregate_records, flatten_numeric, summarize
 from repro.sweep.artifacts import result_to_dict, write_sweep_artifacts
 from repro.sweep.runner import run_sweep
@@ -120,7 +121,7 @@ class TestAggregate:
 
 
 class TestArtifacts:
-    def test_result_to_dict_fallbacks(self):
+    def test_serialize_result_fallbacks(self):
         import dataclasses
 
         @dataclasses.dataclass
@@ -128,8 +129,12 @@ class TestArtifacts:
             x: int
             items: tuple
 
-        out = result_to_dict({"p": Plain(1, (2, 3)), "s": {4}})
+        out = serialize_result({"p": Plain(1, (2, 3)), "s": {4}})
         assert out == {"p": {"x": 1, "items": [2, 3]}, "s": [4]}
+
+    def test_result_to_dict_shim_warns_but_works(self):
+        with pytest.warns(DeprecationWarning):
+            assert result_to_dict({"a": (1, 2)}) == {"a": [1, 2]}
 
     def test_write_sweep_artifacts(self, tmp_path, toy_registered):
         sweep = run_sweep(toy_registered, seeds=3, jobs=1,
@@ -140,7 +145,7 @@ class TestArtifacts:
 
         with open(paths["sweep.json"]) as handle:
             manifest = json.load(handle)
-        assert manifest["schema"] == "repro.sweep/v1"
+        assert manifest["schema"] == "repro.sweep/v2"
         assert manifest["experiment"] == toy_registered
         assert manifest["n_runs"] == 3
         assert len(manifest["runs"]) == 3
