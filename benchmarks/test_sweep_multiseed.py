@@ -9,7 +9,7 @@ mean/median/CI aggregates alongside the single-seed series.
 
 from conftest import save_series
 
-from repro.sweep import run_sweep
+from repro.sweep import SweepConfig, run_sweep
 
 FIELDS = (
     "detected",
@@ -24,7 +24,8 @@ FIELDS = (
 
 def test_fig6_6_multiseed_sweep(benchmark):
     sweep = benchmark.pedantic(
-        lambda: run_sweep("fig6_6", seeds=3, jobs=2, root_seed=0),
+        lambda: run_sweep("fig6_6", SweepConfig(seeds=3, jobs=2,
+                                                root_seed=0)),
         rounds=1, iterations=1)
     aggregate = sweep.aggregate
     lines = [

@@ -9,13 +9,17 @@
     python -m repro sweep fig6_6 --seeds 8 --jobs 4 --out /tmp/sweep
     python -m repro sweep fig6_6 --seeds 8 --shard 0/2 --out /tmp/s0
     python -m repro merge /tmp/s0 /tmp/s1 --out /tmp/merged
+    python -m repro sweep fig6_6 --seeds 8 --executor subprocess --shards 2
+    python -m repro sweep fig6_6 --executor ssh --hosts fast:8,spare:2
 
 ``run`` prints the same series its bench writes to
 ``benchmarks/results/`` (see EXPERIMENTS.md for the paper-vs-measured
 reading guide); ``sweep`` Monte-Carlos an experiment across derived
 seeds/parameter grids with caching, retry/timeout fault tolerance and
 JSON/CSV artifacts; ``merge`` unions the outputs of ``--shard`` runs
-back into one aggregate (see the "Sweeps" section of EXPERIMENTS.md).
+back into one aggregate; ``--executor`` dispatches the shards itself —
+locally, as supervised child processes, or across ssh hosts — and
+auto-merges (see "Distributed sweeps" in EXPERIMENTS.md).
 """
 
 from __future__ import annotations

@@ -344,3 +344,24 @@ for _spec in (
                    description="§6.1.2: Appenzeller model vs simulation"),
 ):
     register(_spec)
+
+
+def _load_plugins() -> None:
+    """Import the modules named in ``REPRO_PLUGINS`` so they register.
+
+    ``REPRO_PLUGINS`` is an ``os.pathsep``-separated list of importable
+    module names; each module registers its experiments at import time
+    (via :func:`register`).  This is how extra experiments reach shard
+    child processes, which only see this environment variable — a bad
+    entry fails loudly rather than silently dropping experiments.
+    """
+    import importlib
+    import os
+
+    for name in os.environ.get("REPRO_PLUGINS", "").split(os.pathsep):
+        name = name.strip()
+        if name:
+            importlib.import_module(name)
+
+
+_load_plugins()

@@ -7,56 +7,37 @@ deterministically from a root seed, finished runs cached on disk under
 timed-out runs retried with exponential backoff and worker crashes
 survived, per-sweep JSON/CSV artifacts plus mean/median/CI aggregates
 emitted per sweep.  ``--shard i/n`` runs one deterministic slice of the
-run list; ``python -m repro merge`` unions shard outputs back into one
-aggregate identical to an unsharded run.  See the "Sweeps" sections of
-README.md and EXPERIMENTS.md.
+run list; ``--executor {local,subprocess,ssh}`` dispatches the shards
+(same machine, supervised child processes, or remote hosts) and
+auto-merges them; ``python -m repro merge`` unions shard outputs back
+into one aggregate identical to an unsharded run.  See the "Sweeps"
+sections of README.md and EXPERIMENTS.md.
+
+The public surface is intentionally small: :func:`run_sweep` driven by
+a :class:`SweepConfig`, the :class:`SweepResult` it returns, the
+:class:`Executor` protocol with its three backends, and
+:func:`merge_sweeps`.  Everything else (grid expansion, the result
+cache, retry classification, artifact writers) is an implementation
+detail — reachable under its submodule for tests and power users, but
+not part of the supported API.
 """
 
-from repro.sweep.aggregate import aggregate_records, flatten_numeric, summarize
-from repro.sweep.artifacts import result_to_dict, write_sweep_artifacts
-from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache, code_version
-from repro.sweep.grid import (
-    RunSpec,
-    derive_seed,
-    expand_grid,
-    parse_grid_assignments,
-    parse_param_assignments,
-    parse_shard,
-    shard_specs,
+from repro.sweep.executors import (
+    Executor,
+    LocalPoolExecutor,
+    SSHExecutor,
+    SubprocessShardExecutor,
 )
-from repro.sweep.merge import (
-    MergeError,
-    load_manifest,
-    merge_manifests,
-    merge_sweep_dirs,
-)
-from repro.sweep.retry import RetryPolicy, RunTimeoutError, SweepError
-from repro.sweep.runner import SweepResult, execute_spec, run_sweep
+from repro.sweep.merge import merge_sweeps
+from repro.sweep.runner import SweepConfig, SweepResult, run_sweep
 
 __all__ = [
-    "DEFAULT_CACHE_DIR",
-    "MergeError",
-    "ResultCache",
-    "RetryPolicy",
-    "RunSpec",
-    "RunTimeoutError",
-    "SweepError",
+    "Executor",
+    "LocalPoolExecutor",
+    "SSHExecutor",
+    "SubprocessShardExecutor",
+    "SweepConfig",
     "SweepResult",
-    "aggregate_records",
-    "code_version",
-    "derive_seed",
-    "execute_spec",
-    "expand_grid",
-    "flatten_numeric",
-    "load_manifest",
-    "merge_manifests",
-    "merge_sweep_dirs",
-    "parse_grid_assignments",
-    "parse_param_assignments",
-    "parse_shard",
-    "result_to_dict",
+    "merge_sweeps",
     "run_sweep",
-    "shard_specs",
-    "summarize",
-    "write_sweep_artifacts",
 ]

@@ -1,9 +1,10 @@
 """Structured sweep artifacts: a JSON manifest plus per-run/aggregate CSV.
 
-Artifact schema (``sweep.json``, ``schema: repro.sweep/v2``)::
+Artifact schema (``sweep.json``, ``schema: repro.sweep/v3``; the merge
+path also still reads ``repro.sweep/v2`` manifests)::
 
     {
-      "schema": "repro.sweep/v2",
+      "schema": "repro.sweep/v3",
       "experiment": "fig6_6",
       "root_seed": 0,
       "params": {...},            # fixed parameters
@@ -15,6 +16,11 @@ Artifact schema (``sweep.json``, ``schema: repro.sweep/v2``)::
       "code_version": "deadbeef01234567",
       "cache": {"hits": 0, "misses": 8, "dir": ".repro-cache"},
       "elapsed_s": 4.2,
+      "dispatch": null | {        # executor-dispatched sweeps only
+        "executor": "subprocess", "n_shards": 2,
+        "shards": [ {"index", "status": "ok"|"failed"|"lost"|"running",
+                     "attempts", "host", "error"}, ... ]
+      },
       "runs": [ {"seed_index", "seed", "params", "elapsed_s", "cached",
                  "status": "ok"|"failed", "attempts",
                  "result_type", "result": {...} | null,
@@ -33,27 +39,12 @@ from __future__ import annotations
 import csv
 import json
 import os
-import warnings
 from typing import Dict, List
 
-from repro.eval.results import serialize_result
 from repro.sweep.aggregate import flatten_numeric
+from repro.sweep.runner import MANIFEST_SCHEMA
 
-MANIFEST_SCHEMA = "repro.sweep/v2"
-
-
-def result_to_dict(result) -> object:
-    """Deprecated alias for :func:`repro.eval.results.serialize_result`.
-
-    Kept for one release so external callers keep working; the generic
-    encoder now lives with the :class:`~repro.eval.results.EvalResult`
-    protocol it serves.
-    """
-    warnings.warn(
-        "repro.sweep.artifacts.result_to_dict is deprecated; use "
-        "repro.eval.results.serialize_result",
-        DeprecationWarning, stacklevel=2)
-    return serialize_result(result)
+__all__ = ["MANIFEST_SCHEMA", "write_sweep_artifacts"]
 
 
 def write_sweep_artifacts(sweep, out_dir: str) -> Dict[str, str]:

@@ -4,17 +4,19 @@ from __future__ import annotations
 
 import argparse
 import os
-from typing import List
+import time
+from typing import List, Optional
 
 from repro.sweep.artifacts import write_sweep_artifacts
 from repro.sweep.cache import DEFAULT_CACHE_DIR
+from repro.sweep.executors.base import Executor
 from repro.sweep.grid import (
     parse_grid_assignments,
     parse_param_assignments,
     parse_shard,
 )
-from repro.sweep.retry import RetryPolicy, SweepError
-from repro.sweep.runner import run_sweep
+from repro.sweep.retry import RetryPolicy, ShardRetryPolicy, SweepError
+from repro.sweep.runner import SweepConfig, run_sweep
 
 
 def add_sweep_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
@@ -29,7 +31,8 @@ def add_sweep_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
             "until code or parameters change.  Failed or timed-out runs "
             "are retried with exponential backoff, then marked failed; "
             "--shard i/n runs one deterministic slice of the sweep for "
-            "later `repro merge`."),
+            "later `repro merge`, and --executor dispatches all shards "
+            "(child processes or ssh hosts) and auto-merges them."),
     )
     parser.add_argument("experiment", help="registered experiment name")
     parser.add_argument("--seeds", type=int, default=8, metavar="N",
@@ -82,6 +85,49 @@ def add_sweep_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
                              "the cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
+
+    dispatch = parser.add_argument_group(
+        "shard dispatch",
+        "split the sweep into shards, run them through an executor, and "
+        "auto-merge the results (see EXPERIMENTS.md, 'Distributed "
+        "sweeps')")
+    dispatch.add_argument("--executor", default=None,
+                          choices=("local", "subprocess", "ssh"),
+                          help="dispatch shards in-process (local), as "
+                               "supervised child processes (subprocess), "
+                               "or across hosts (ssh)")
+    dispatch.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="shard count (default: 1 for local, 2 for "
+                               "subprocess, total host slots for ssh)")
+    dispatch.add_argument("--hosts", default=None, metavar="H1,H2:SLOTS",
+                          help="ssh hosts as name or name:slots, "
+                               "comma-separated")
+    dispatch.add_argument("--hostfile", default=None, metavar="PATH",
+                          help="TOML hostfile (see EXPERIMENTS.md for the "
+                               "format); overrides --hosts")
+    dispatch.add_argument("--transport", default="ssh",
+                          choices=("ssh", "local"),
+                          help="how ssh shards reach their hosts: real "
+                               "ssh/scp, or local subprocesses (smoke "
+                               "tests; host names become labels)")
+    dispatch.add_argument("--shard-attempts", type=int, default=2,
+                          metavar="N",
+                          help="dispatch attempts per shard before the "
+                               "sweep fails; lost shards are re-run, on "
+                               "another host when there is one "
+                               "(default 2)")
+    dispatch.add_argument("--shard-timeout", type=float, default=None,
+                          metavar="S",
+                          help="kill a shard running longer than S "
+                               "seconds and mark it lost")
+    dispatch.add_argument("--heartbeat-timeout", type=float, default=None,
+                          metavar="S",
+                          help="subprocess executor: kill a shard whose "
+                               "heartbeat file is older than S seconds")
+    # Internal: executors pass --heartbeat to their shard children; the
+    # child touches the file twice a second for liveness supervision.
+    dispatch.add_argument("--heartbeat", default=None,
+                          help=argparse.SUPPRESS)
     return parser
 
 
@@ -105,6 +151,65 @@ def add_merge_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
     return parser
 
 
+def _start_heartbeat(path: str) -> None:
+    """Touch ``path`` twice a second from a daemon thread, forever."""
+    import threading
+
+    def beat() -> None:
+        while True:
+            try:
+                with open(path, "a"):
+                    pass
+                os.utime(path)
+            except OSError:
+                pass
+            time.sleep(0.5)
+
+    threading.Thread(target=beat, daemon=True,
+                     name="sweep-heartbeat").start()
+
+
+def _build_executor(args: argparse.Namespace) -> Optional[Executor]:
+    """Construct the requested dispatch backend, or None for --shard/plain."""
+    if args.executor is None:
+        for flag, name in ((args.hosts, "--hosts"),
+                           (args.hostfile, "--hostfile"),
+                           (args.shards, "--shards")):
+            if flag is not None:
+                raise ValueError(f"{name} needs --executor")
+        return None
+    if args.shard is not None:
+        raise ValueError(
+            "--shard marks this process as one shard of a dispatched "
+            "sweep; it cannot be combined with --executor")
+    from repro.sweep.executors import (
+        LocalCommandTransport,
+        LocalPoolExecutor,
+        SSHExecutor,
+        SubprocessShardExecutor,
+        load_hostfile,
+        parse_hosts,
+    )
+
+    if args.executor == "local":
+        return LocalPoolExecutor(shards=args.shards or 1)
+    if args.executor == "subprocess":
+        return SubprocessShardExecutor(
+            shards=args.shards or 2,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            shard_timeout_s=args.shard_timeout)
+    if args.hostfile:
+        hosts = load_hostfile(args.hostfile)
+    elif args.hosts:
+        hosts = parse_hosts(args.hosts)
+    else:
+        raise ValueError("--executor ssh needs --hosts or --hostfile")
+    transport = (LocalCommandTransport() if args.transport == "local"
+                 else None)
+    return SSHExecutor(hosts, transport=transport, shards=args.shards,
+                       shard_timeout_s=args.shard_timeout)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     import sys
 
@@ -115,36 +220,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         retry = RetryPolicy(max_attempts=max(1, args.retries + 1),
                             timeout_s=args.timeout,
                             backoff_s=args.retry_backoff)
-    except ValueError as error:
+        executor = _build_executor(args)
+        shard_retry = ShardRetryPolicy(
+            max_attempts=max(1, args.shard_attempts))
+    except (OSError, ValueError) as error:
         print(error, file=sys.stderr)
         return 2
+    if args.heartbeat:
+        _start_heartbeat(args.heartbeat)
     progress = None if args.quiet else (lambda line: print(line, flush=True))
     cache_max_bytes = (int(args.cache_max_mb * 1024 * 1024)
                        if args.cache_max_mb is not None else None)
+    out_dir = args.out or os.path.join("sweeps", args.experiment)
+    config = SweepConfig(
+        seeds=args.seeds,
+        jobs=args.jobs,
+        params=params,
+        grid=grid,
+        root_seed=args.root_seed,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=cache_max_bytes,
+        shard=shard,
+        retry=retry,
+        strict=args.strict,
+        shard_retry=shard_retry,
+        # Keep per-shard artifacts next to the merged ones for debugging.
+        shard_dir=(os.path.join(out_dir, "shards")
+                   if executor is not None else None),
+    )
     try:
-        sweep = run_sweep(
-            args.experiment,
-            seeds=args.seeds,
-            jobs=args.jobs,
-            params=params,
-            grid=grid,
-            root_seed=args.root_seed,
-            use_cache=not args.no_cache,
-            cache_dir=args.cache_dir,
-            cache_max_bytes=cache_max_bytes,
-            shard=shard,
-            retry=retry,
-            strict=args.strict,
-            progress=progress,
-        )
+        sweep = run_sweep(args.experiment, config, executor=executor,
+                          progress=progress)
     except SweepError as error:
-        print(f"sweep aborted (--strict): {error}", file=sys.stderr)
+        print(f"sweep aborted: {error}", file=sys.stderr)
         return 1
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
         print(message, file=sys.stderr)
         return 2
-    out_dir = args.out or os.path.join("sweeps", args.experiment)
     sweep.artifact_paths = write_sweep_artifacts(sweep, out_dir)
     for line in sweep.summary_lines():
         print(line)

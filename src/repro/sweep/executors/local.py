@@ -1,0 +1,329 @@
+"""In-process execution: the cell engine and :class:`LocalPoolExecutor`.
+
+Two layers live here.  The *cell engine* (:func:`_run_cells`) is the
+round-based retry loop over a ``ProcessPoolExecutor`` that every
+single-process sweep uses — it was ``runner._execute_pending`` before
+the executor API existed.  :class:`LocalPoolExecutor` is the shard-level
+backend built on it: ``submit`` runs the shard's slice in this process
+through :func:`repro.sweep.runner.run_sweep` (so ``--executor local``
+artifacts are byte-identical to a plain sweep of the same slice) and
+writes its artifact directory, synchronously.
+
+Worker payloads are split into an invariant *context* (experiment name,
+timeout, the parameters every cell shares) shipped once per worker via
+the pool initializer, and a per-cell *delta* (seed, seed index, the
+cell's own grid point) pickled per task — so a sweep with megabytes of
+fixed parameters no longer re-pickles them for every run.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sweep.cache import ResultCache
+from repro.sweep.grid import RunSpec
+from repro.sweep.retry import (
+    KIND_CRASH,
+    RetryPolicy,
+    SweepError,
+    classify_error,
+    error_summary,
+    run_deadline,
+)
+from repro.sweep.executors.base import (
+    SHARD_FAILED,
+    SHARD_OK,
+    Executor,
+    ShardHandle,
+    ShardSpec,
+    _HandleRegistry,
+)
+
+# ---------------------------------------------------------------------------
+# Worker-side cell execution
+# ---------------------------------------------------------------------------
+
+#: Per-worker invariant context, installed once by the pool initializer.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_worker(context: dict) -> None:
+    _WORKER_CONTEXT.clear()
+    _WORKER_CONTEXT.update(context)
+
+
+def _shared_context(specs: Sequence[RunSpec],
+                    timeout_s: Optional[float]) -> dict:
+    """The invariant payload parts: experiment, timeout, common params."""
+    first = specs[0].params
+    rest = specs[1:]
+    common = tuple(kv for kv in first
+                   if all(kv in spec.params for spec in rest))
+    return {
+        "experiment": specs[0].experiment,
+        "timeout_s": timeout_s,
+        "common_params": [list(kv) for kv in common],
+    }
+
+
+def _cell_delta(spec: RunSpec, context: dict) -> dict:
+    """The per-cell payload: seed coordinates plus non-shared params."""
+    common = [tuple(kv) for kv in context["common_params"]]
+    return {
+        "seed_index": spec.seed_index,
+        "seed": spec.seed,
+        "params": [list(kv) for kv in spec.params if kv not in common],
+    }
+
+
+def _payload_from(context: dict, delta: dict) -> dict:
+    """Reassemble the full cell payload a worker executes."""
+    params = {key: value for key, value in context["common_params"]}
+    params.update({key: value for key, value in delta["params"]})
+    payload = {
+        "experiment": context["experiment"],
+        "params": sorted(params.items()),
+        "seed_index": delta["seed_index"],
+        "seed": delta["seed"],
+    }
+    if context.get("timeout_s") is not None:
+        payload["timeout_s"] = context["timeout_s"]
+    return payload
+
+
+def _run_cell(delta: dict) -> dict:
+    """Pool task entry point: context comes from the worker initializer."""
+    return _execute_cell(_payload_from(_WORKER_CONTEXT, delta))
+
+
+def _execute_cell(payload: dict) -> dict:
+    """Run one sweep cell and return its serialized run record."""
+    from repro.eval import registry
+    from repro.eval.results import result_type_name, serialize_result
+
+    spec = registry.get(payload["experiment"])
+    params = {key: value for key, value in payload["params"]}
+    call_params = dict(params)
+    seed = payload.get("seed")
+    if seed is not None:
+        if spec.accepts_seed:
+            call_params["seed"] = seed
+        else:
+            warnings.warn(
+                f"experiment {payload['experiment']!r} takes no seed "
+                f"parameter; derived seed {seed} ignored (run is "
+                f"deterministic)", RuntimeWarning, stacklevel=2)
+    started = time.perf_counter()
+    with run_deadline(payload.get("timeout_s")):
+        result = spec.run(**call_params)
+    elapsed = time.perf_counter() - started
+    return {
+        "experiment": payload["experiment"],
+        "seed_index": payload["seed_index"],
+        "seed": payload["seed"],
+        "params": params,
+        "elapsed_s": elapsed,
+        "status": "ok",
+        "result_type": result_type_name(result),
+        "result": serialize_result(result),
+    }
+
+
+def _failed_record(spec: RunSpec, error: BaseException,
+                   attempts: int) -> dict:
+    """The run record for a cell whose every attempt failed."""
+    return {
+        "experiment": spec.experiment,
+        "seed_index": spec.seed_index,
+        "seed": spec.seed,
+        "params": dict(spec.params),
+        "elapsed_s": 0.0,
+        "status": "failed",
+        "attempts": attempts,
+        "error": error_summary(error),
+        "result_type": "",
+        "result": None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The round-based retry engine (formerly runner._execute_pending)
+# ---------------------------------------------------------------------------
+
+def _run_cells(
+    specs: Sequence[RunSpec],
+    pending: Sequence[int],
+    *,
+    jobs: int,
+    policy: RetryPolicy,
+    strict: bool,
+    cache: ResultCache,
+    progress: Optional[Callable[[str], None]],
+) -> Dict[int, dict]:
+    """Round-based execution with retry: cell index -> final record."""
+    results: Dict[int, dict] = {}
+    attempts: Dict[int, int] = {index: 0 for index in pending}
+    queue: List[int] = list(pending)
+    total = len(pending)
+    completed = 0
+    retry_round = 0
+    isolate = False  # after a crash round: one single-worker pool per cell
+
+    context = _shared_context([specs[index] for index in pending],
+                              policy.timeout_s)
+    deltas = {index: _cell_delta(specs[index], context)
+              for index in pending}
+
+    while queue:
+        if retry_round:
+            delay = policy.backoff_delay(retry_round)
+            if delay:
+                time.sleep(delay)
+        failures: Dict[int, BaseException] = {}
+        fresh: Dict[int, dict] = {}
+        if jobs <= 1:
+            # Inline: no worker to crash, but also no crash isolation —
+            # a cell that kills its process kills the sweep (jobs>=2
+            # exists precisely to contain that).
+            for index in queue:
+                attempts[index] += 1
+                try:
+                    fresh[index] = _execute_cell(
+                        _payload_from(context, deltas[index]))
+                except Exception as error:
+                    failures[index] = error
+        elif isolate:
+            # A worker crash breaks its whole pool, failing every cell
+            # in flight with it.  Rerun each suspect in its own
+            # single-worker pool so a poisoned cell exhausts only its
+            # own attempts and collateral cells complete normally.
+            for index in queue:
+                attempts[index] += 1
+                with ProcessPoolExecutor(
+                        max_workers=1, initializer=_init_worker,
+                        initargs=(context,)) as pool:
+                    try:
+                        fresh[index] = pool.submit(
+                            _run_cell, deltas[index]).result()
+                    except Exception as error:
+                        failures[index] = error
+        else:
+            # One pool per round: a crash poisons the pool, so
+            # surviving cells get a clean pool on the retry round.
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(queue)),
+                    initializer=_init_worker,
+                    initargs=(context,)) as pool:
+                futures = {}
+                for index in queue:
+                    attempts[index] += 1
+                    futures[pool.submit(_run_cell, deltas[index])] = index
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        fresh[index] = future.result()
+                    except Exception as error:
+                        failures[index] = error
+        isolate = any(classify_error(error) == KIND_CRASH
+                      for error in failures.values())
+
+        for index in sorted(fresh):
+            record = fresh[index]
+            record["attempts"] = attempts[index]
+            cache.store(specs[index], record)
+            results[index] = record
+            completed += 1
+            if progress is not None:
+                progress(
+                    f"run {completed}/{total}: seed_index="
+                    f"{specs[index].seed_index} seed={specs[index].seed} "
+                    f"({record['elapsed_s']:.2f} s)")
+
+        retry_queue: List[int] = []
+        for index in sorted(failures):
+            error = failures[index]
+            spec = specs[index]
+            if strict:
+                raise SweepError(
+                    f"run seed_index={spec.seed_index} "
+                    f"seed={spec.seed} of {spec.experiment!r} failed "
+                    f"({error_summary(error)['kind']}): {error}"
+                ) from error
+            if policy.allows_retry(attempts[index]):
+                retry_queue.append(index)
+                if progress is not None:
+                    progress(
+                        f"retrying seed_index={spec.seed_index} "
+                        f"seed={spec.seed} (attempt "
+                        f"{attempts[index]}/{policy.max_attempts} "
+                        f"{error_summary(error)['kind']}: {error})")
+            else:
+                results[index] = _failed_record(spec, error,
+                                                attempts[index])
+                completed += 1
+                if progress is not None:
+                    progress(
+                        f"run {completed}/{total}: seed_index="
+                        f"{spec.seed_index} seed={spec.seed} FAILED "
+                        f"after {attempts[index]} attempt(s) "
+                        f"({error_summary(error)['kind']}: {error})")
+        queue = retry_queue
+        retry_round += 1
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Shard-level backend
+# ---------------------------------------------------------------------------
+
+class LocalPoolExecutor(Executor):
+    """Run every shard in this process, on the classic process pool.
+
+    ``submit`` is synchronous: the shard's slice runs to completion via
+    :func:`repro.sweep.runner.run_sweep` before the handle is returned,
+    so artifacts are byte-identical to running the same ``--shard i/n``
+    command by hand.  ``shards=1`` makes the dispatched sweep equivalent
+    to an undispatched one.
+    """
+
+    name = "local"
+
+    def __init__(self, shards: int = 1) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._n_shards = shards
+        self._registry = _HandleRegistry()
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def submit(self, spec: ShardSpec, *, excluded_hosts=()) -> ShardHandle:
+        from repro.sweep.artifacts import write_sweep_artifacts
+        from repro.sweep.runner import run_sweep
+
+        handle = ShardHandle(spec, host="inprocess")
+        try:
+            config = replace(spec.config,
+                             shard=(spec.index, spec.count))
+            sweep = run_sweep(spec.experiment, config)
+            write_sweep_artifacts(sweep, spec.out_dir)
+            handle.status = SHARD_OK
+        except Exception as error:  # deterministic: never re-dispatch
+            handle.status = SHARD_FAILED
+            handle.error = f"{type(error).__name__}: {error}"
+        return self._registry.track(handle)
+
+    def poll(self) -> List[ShardHandle]:
+        return self._registry.ordered()
+
+    def collect(self) -> List[str]:
+        return [handle.spec.out_dir for handle in self._registry.ordered()
+                if handle.status == SHARD_OK]
+
+    def cancel(self) -> None:  # nothing asynchronous to stop
+        pass

@@ -1,0 +1,379 @@
+"""Cross-host shard dispatch over ``ssh``/``scp`` (or a fake transport).
+
+Hosts come from ``--hosts host1,host2:8`` (``name:slots``) or a TOML
+hostfile::
+
+    # defaults applied to every host
+    python = "/usr/bin/python3"
+    cwd = "~/repro"                    # where `python -m repro` works
+
+    [[hosts]]
+    name = "fast-box"
+    slots = 8                          # concurrent shards on this host
+
+    [[hosts]]
+    name = "spare-box"
+    slots = 2
+    python = "/opt/py311/bin/python3"
+    env = { PYTHONPATH = "src" }
+
+Each shard becomes one remote ``python -m repro sweep --shard i/n``
+invocation; its artifact directory is produced under a per-dispatch
+remote workdir and fetched back with ``scp -r`` once the shard exits 0.
+All remote I/O goes through a :class:`CommandTransport`, so tests (and
+``--transport local``) swap the real ``ssh``/``scp`` for
+:class:`LocalCommandTransport`, which runs the same argv in a local
+subprocess and "fetches" with a directory copy — the whole dispatch
+path exercised end-to-end with no sshd.
+
+A shard whose transport dies (connection refused, killed remote
+process) is ``lost``; the driver re-dispatches it, and ``submit``
+prefers hosts that have not already lost that shard.
+"""
+
+from __future__ import annotations
+
+import os
+import posixpath
+import shlex
+import shutil
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sweep.executors.base import (
+    SHARD_FAILED,
+    SHARD_LOST,
+    SHARD_OK,
+    Executor,
+    ShardHandle,
+    ShardSpec,
+    _HandleRegistry,
+)
+
+
+@dataclass(frozen=True)
+class Host:
+    """One dispatch target: an ssh-reachable name plus its capacity."""
+
+    name: str
+    slots: int = 1
+    python: str = "python3"
+    cwd: Optional[str] = None
+    env: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("host name must be non-empty")
+        if self.slots < 1:
+            raise ValueError(f"host {self.name!r}: slots must be >= 1")
+
+
+def parse_hosts(text: str, python: str = "python3") -> List[Host]:
+    """Parse ``--hosts host1,host2:8`` into :class:`Host` entries."""
+    hosts: List[Host] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, slots_text = chunk.partition(":")
+        try:
+            slots = int(slots_text) if sep else 1
+        except ValueError:
+            raise ValueError(
+                f"bad host {chunk!r}; expected name or name:slots") from None
+        hosts.append(Host(name, slots, python=python))
+    if not hosts:
+        raise ValueError(f"no hosts in {text!r}")
+    return hosts
+
+
+def load_hostfile(path: str) -> List[Host]:
+    """Read a TOML hostfile (see module docstring for the format)."""
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11
+        raise ValueError(
+            "TOML hostfiles need Python >= 3.11 (tomllib); "
+            "use --hosts name:slots,... instead") from None
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    default_python = data.get("python", "python3")
+    default_cwd = data.get("cwd")
+    hosts = []
+    for entry in data.get("hosts", []):
+        if "name" not in entry:
+            raise ValueError(f"{path}: [[hosts]] entry without a name")
+        hosts.append(Host(
+            entry["name"],
+            entry.get("slots", 1),
+            python=entry.get("python", default_python),
+            cwd=entry.get("cwd", default_cwd),
+            env=tuple(sorted(entry.get("env", {}).items())),
+        ))
+    if not hosts:
+        raise ValueError(f"{path}: no [[hosts]] entries")
+    return hosts
+
+
+class TransportError(RuntimeError):
+    """The transport could not reach the host or move artifacts."""
+
+
+class CommandTransport:
+    """How shard commands run on a host and artifacts come back."""
+
+    name = "abstract"
+
+    def run(self, host: Host, argv: Sequence[str],
+            timeout: Optional[float] = None) -> Tuple[int, str]:
+        """Run ``argv`` on ``host``; return (returncode, combined output)."""
+        raise NotImplementedError
+
+    def fetch(self, host: Host, remote_dir: str, local_dir: str) -> None:
+        """Copy a remote directory's contents to a local directory."""
+        raise NotImplementedError
+
+    def remove(self, host: Host, remote_dir: str) -> None:
+        """Best-effort cleanup of a remote workdir."""
+
+
+class SSHCommandTransport(CommandTransport):
+    """The real thing: ``ssh`` to run, ``scp -r`` to fetch."""
+
+    name = "ssh"
+
+    def __init__(self, ssh_options: Sequence[str] = ("-o", "BatchMode=yes"),
+                 connect_timeout_s: float = 10.0) -> None:
+        self.ssh_options = list(ssh_options) + [
+            "-o", f"ConnectTimeout={int(connect_timeout_s)}"]
+
+    def _shell_line(self, host: Host, argv: Sequence[str]) -> str:
+        parts = []
+        if host.cwd:
+            parts.append(f"cd {shlex.quote(host.cwd)} &&")
+        if host.env:
+            parts.append("env " + " ".join(
+                f"{key}={shlex.quote(value)}" for key, value in host.env))
+        parts.append(" ".join(shlex.quote(arg) for arg in argv))
+        return " ".join(parts)
+
+    def run(self, host: Host, argv: Sequence[str],
+            timeout: Optional[float] = None) -> Tuple[int, str]:
+        command = (["ssh"] + self.ssh_options
+                   + [host.name, self._shell_line(host, argv)])
+        try:
+            proc = subprocess.run(
+                command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                timeout=timeout, text=True, errors="replace")
+        except subprocess.TimeoutExpired as error:
+            raise TransportError(
+                f"ssh to {host.name} timed out after {timeout} s"
+            ) from error
+        except OSError as error:
+            raise TransportError(f"cannot run ssh: {error}") from error
+        if proc.returncode == 255:  # ssh's own failure, not the command's
+            raise TransportError(
+                f"ssh to {host.name} failed: {proc.stdout.strip()}")
+        return proc.returncode, proc.stdout
+
+    def fetch(self, host: Host, remote_dir: str, local_dir: str) -> None:
+        os.makedirs(local_dir, exist_ok=True)
+        source = f"{host.name}:{posixpath.join(remote_dir, '*')}"
+        command = ["scp", "-q", "-r"] + self.ssh_options + [
+            source, local_dir]
+        proc = subprocess.run(
+            command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, errors="replace")
+        if proc.returncode != 0:
+            raise TransportError(
+                f"scp from {host.name}:{remote_dir} failed: "
+                f"{proc.stdout.strip()}")
+
+    def remove(self, host: Host, remote_dir: str) -> None:
+        # The workdir is a token-named directory this dispatch created;
+        # quote it and ignore failures — cleanup must never sink a sweep.
+        try:
+            self.run(host, ["rm", "-rf", remote_dir], timeout=30)
+        except TransportError:
+            pass
+
+
+class LocalCommandTransport(CommandTransport):
+    """Run shard commands locally — the injectable ssh stand-in.
+
+    ``host.name`` is ignored for execution (everything runs on this
+    machine) but kept for status display, so ``--hosts a,b --transport
+    local`` exercises multi-host scheduling, exclusion and retry logic
+    with real subprocesses and no sshd.  ``python`` (default: this
+    interpreter) overrides the command's interpreter so ``Host`` entries
+    written for remote machines still run here.
+    """
+
+    name = "local"
+
+    def __init__(self, python: Optional[str] = None) -> None:
+        self.python = python or sys.executable
+
+    def run(self, host: Host, argv: Sequence[str],
+            timeout: Optional[float] = None) -> Tuple[int, str]:
+        argv = [self.python] + list(argv[1:])
+        env = dict(os.environ)
+        env.update(dict(host.env))
+        try:
+            proc = subprocess.run(
+                argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                timeout=timeout, text=True, errors="replace",
+                cwd=host.cwd, env=env)
+        except subprocess.TimeoutExpired as error:
+            raise TransportError(
+                f"shard on {host.name} timed out after {timeout} s"
+            ) from error
+        except OSError as error:
+            raise TransportError(f"cannot run shard: {error}") from error
+        return proc.returncode, proc.stdout
+
+    def fetch(self, host: Host, remote_dir: str, local_dir: str) -> None:
+        if not os.path.isdir(remote_dir):
+            raise TransportError(f"no artifacts at {remote_dir}")
+        shutil.copytree(remote_dir, local_dir, dirs_exist_ok=True)
+
+    def remove(self, host: Host, remote_dir: str) -> None:
+        shutil.rmtree(remote_dir, ignore_errors=True)
+
+
+class SSHExecutor(Executor):
+    """Dispatch shards across hosts through a :class:`CommandTransport`.
+
+    Every shard submission takes one slot on its host (a host with
+    ``slots=8`` runs up to 8 shards concurrently); submission threads
+    block on the host's slot semaphore, so over-submission just queues.
+    ``shards`` defaults to the total slot count — one busy slot per
+    shard at full fan-out.
+    """
+
+    name = "ssh"
+
+    def __init__(self, hosts: Sequence[Host],
+                 transport: Optional[CommandTransport] = None,
+                 shards: Optional[int] = None,
+                 shard_timeout_s: Optional[float] = None,
+                 remote_root: Optional[str] = None) -> None:
+        if not hosts:
+            raise ValueError("SSHExecutor needs at least one host")
+        names = [host.name for host in hosts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate host names: {', '.join(names)}")
+        self.hosts = list(hosts)
+        self.transport = transport or SSHCommandTransport()
+        self._n_shards = (shards if shards is not None
+                          else sum(host.slots for host in hosts))
+        if self._n_shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shard_timeout_s = shard_timeout_s
+        self.remote_root = remote_root or posixpath.join(
+            ".repro-sweep-remote", f"dispatch-{os.getpid()}-{os.urandom(4).hex()}")
+        self._slots: Dict[str, threading.Semaphore] = {
+            host.name: threading.Semaphore(host.slots) for host in hosts}
+        self._inflight: Dict[str, int] = {host.name: 0 for host in hosts}
+        self._lock = threading.Lock()
+        self._cancelled = threading.Event()
+        self._registry = _HandleRegistry()
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def handles(self) -> List[ShardHandle]:
+        return self._registry.ordered()
+
+    def _pick_host(self, excluded: Sequence[str]) -> Host:
+        with self._lock:
+            usable = [host for host in self.hosts
+                      if host.name not in excluded]
+            if not usable:  # every host lost this shard once: start over
+                usable = self.hosts
+            # Least in-flight relative to capacity keeps wide hosts busy.
+            chosen = min(usable, key=lambda host:
+                         self._inflight[host.name] / host.slots)
+            self._inflight[chosen.name] += 1
+            return chosen
+
+    def submit(self, spec: ShardSpec, *, excluded_hosts=()) -> ShardHandle:
+        host = self._pick_host(excluded_hosts)
+        handle = ShardHandle(spec, host=host.name)
+        thread = threading.Thread(
+            target=self._run_shard, args=(handle, host), daemon=True)
+        handle.worker = thread
+        self._registry.track(handle)
+        thread.start()
+        return handle
+
+    def _run_shard(self, handle: ShardHandle, host: Host) -> None:
+        spec = handle.spec
+        remote_out = posixpath.join(
+            self.remote_root, f"shard-{spec.index}-try{handle.attempts}")
+        argv = spec.command(host.python, out_dir=remote_out, heartbeat="")
+        with self._slots[host.name]:
+            try:
+                if self._cancelled.is_set():
+                    raise TransportError("dispatch cancelled")
+                returncode, output = self.transport.run(
+                    host, argv, timeout=self.shard_timeout_s)
+                if returncode == 0:
+                    self.transport.fetch(host, remote_out, spec.out_dir)
+                    if not os.path.exists(
+                            os.path.join(spec.out_dir, "sweep.json")):
+                        raise TransportError(
+                            f"shard fetched without sweep.json from "
+                            f"{host.name}:{remote_out}")
+                    self.transport.remove(host, remote_out)
+                    handle.status = SHARD_OK
+                else:
+                    tail = output.strip().splitlines()[-1:] or [""]
+                    handle.status = SHARD_FAILED if returncode in (1, 2) \
+                        else SHARD_LOST
+                    handle.error = (f"shard on {host.name} exited "
+                                    f"{returncode}: {tail[0]}")
+            except TransportError as error:
+                handle.status = SHARD_LOST
+                handle.error = str(error)
+            except Exception as error:  # pragma: no cover - defensive
+                handle.status = SHARD_LOST
+                handle.error = f"{type(error).__name__}: {error}"
+            finally:
+                with self._lock:
+                    self._inflight[host.name] -= 1
+
+    def poll(self) -> List[ShardHandle]:
+        return self._registry.ordered()
+
+    def collect(self) -> List[str]:
+        handles = self._registry.ordered()
+        if all(handle.status == SHARD_OK for handle in handles):
+            # Dispatch is over, nothing races: drop the per-dispatch
+            # workdir on every host that ran a shard.
+            used = {handle.host for handle in handles}
+            for host in self.hosts:
+                if host.name in used:
+                    self.transport.remove(host, self.remote_root)
+        return [handle.spec.out_dir for handle in handles
+                if handle.status == SHARD_OK]
+
+    def cancel(self) -> None:
+        # Threads blocked on a slot abort on wake; in-flight remote
+        # commands run to completion (their results are ignored).
+        self._cancelled.set()
+
+
+def wait_idle(executor: SSHExecutor, timeout_s: float = 60.0) -> None:
+    """Join all submission threads — test helper, not part of dispatch."""
+    deadline = time.monotonic() + timeout_s
+    for handle in executor.handles:
+        thread = handle.worker
+        if isinstance(thread, threading.Thread):
+            thread.join(max(0.0, deadline - time.monotonic()))

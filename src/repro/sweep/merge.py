@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.sweep.aggregate import aggregate_records
 from repro.sweep.grid import RunSpec, expand_grid
 from repro.sweep.runner import SweepResult
 
-MERGEABLE_SCHEMAS = ("repro.sweep/v2",)
+MERGEABLE_SCHEMAS = ("repro.sweep/v2", "repro.sweep/v3")
 
 #: Manifest fields that must agree across every shard of one sweep.
 COORDINATE_FIELDS = ("schema", "experiment", "root_seed", "seeds",
@@ -145,6 +145,23 @@ def merge_sweep_dirs(directories: Sequence[str]) -> SweepResult:
     if not directories:
         raise MergeError("no sweep directories given")
     return merge_manifests([load_manifest(d) for d in directories])
+
+
+def merge_sweeps(directories: Sequence[str],
+                 out_dir: Optional[str] = None) -> SweepResult:
+    """Programmatic merge: union shard directories, optionally write.
+
+    The library-facing twin of ``python -m repro merge``: validates and
+    merges each directory's ``sweep.json`` and, when ``out_dir`` is
+    given, writes the merged ``sweep.json``/``runs.csv``/
+    ``aggregate.csv`` there (paths land in ``result.artifact_paths``).
+    """
+    from repro.sweep.artifacts import write_sweep_artifacts
+
+    merged = merge_sweep_dirs(directories)
+    if out_dir is not None:
+        write_sweep_artifacts(merged, out_dir)
+    return merged
 
 
 def shard_summary(manifests: Sequence[dict]) -> List[str]:

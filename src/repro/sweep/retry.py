@@ -20,6 +20,7 @@ from dataclasses import dataclass
 KIND_EXCEPTION = "exception"  # the experiment function raised
 KIND_TIMEOUT = "timeout"      # the per-run timeout expired
 KIND_CRASH = "crash"          # the worker process died (SIGKILL/OOM)
+KIND_LOST = "lost"            # a dispatched shard's process/host died
 
 
 class RunTimeoutError(Exception):
@@ -27,7 +28,9 @@ class RunTimeoutError(Exception):
 
 
 class SweepError(RuntimeError):
-    """A cell failed under ``strict=True`` — fail-fast, nothing written."""
+    """The sweep as a whole must abort: a cell failed under
+    ``strict=True``, or a dispatched shard failed deterministically /
+    ran out of dispatch attempts."""
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,35 @@ class RetryPolicy:
 
 
 NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+@dataclass(frozen=True)
+class ShardRetryPolicy:
+    """How the dispatch driver supervises *shards* (not cells).
+
+    A shard is one ``--shard i/n`` slice dispatched through an
+    :class:`~repro.sweep.executors.base.Executor`.  When a shard is
+    ``lost`` — its process killed, its host unreachable, its heartbeat
+    stale — the driver re-dispatches it (on another host where the
+    executor has one) up to ``max_attempts`` total dispatches; cells the
+    lost attempt already finished are answered from the result cache on
+    the retry.  A shard that *fails* (nonzero exit from a config error
+    or ``--strict``) is never re-dispatched: retrying a deterministic
+    failure elsewhere cannot help.  ``poll_interval_s`` paces the
+    driver's supervision loop.
+    """
+
+    max_attempts: int = 2
+    poll_interval_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    def allows_retry(self, attempts_used: int) -> bool:
+        return attempts_used < self.max_attempts
 
 
 def classify_error(error: BaseException) -> str:

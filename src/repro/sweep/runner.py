@@ -1,99 +1,90 @@
-"""Fault-tolerant, shardable process-pool sweep orchestration.
+"""Sweep orchestration: configuration, the classic path, shard dispatch.
 
-:func:`run_sweep` expands a (grid x seeds) run list, optionally keeps
-only its shard of it (``shard=(i, n)`` — every host that expands the
-same coordinates agrees on the partition), answers what it can from the
-on-disk cache, and fans the remaining cells across a
-``ProcessPoolExecutor`` (``jobs=1`` runs inline, bit-identical to the
-pool path since every run is fully determined by its :class:`RunSpec`).
+:func:`run_sweep` expands a (grid x seeds) run list from a
+:class:`SweepConfig`, answers what it can from the on-disk cache, and
+executes the rest.  Without an executor that happens in this process on
+a ``ProcessPoolExecutor`` (the *classic* path; ``jobs=1`` runs inline,
+bit-identical to the pool path since every run is fully determined by
+its :class:`RunSpec`), honoring ``config.shard`` so one process can run
+a single ``--shard i/n`` slice.
 
-Execution is round-based: each round submits every outstanding cell,
-collects successes and failures, then retries failed cells in the next
-round after an exponential backoff — up to ``RetryPolicy.max_attempts``
-tries per cell.  A worker killed mid-run (SIGKILL, OOM) breaks the pool;
-every cell that was in flight surfaces as a ``crash`` failure and the
-next round gets a fresh pool, so one poisoned cell exhausts its own
-attempts without sinking the sweep.  Cells that run out of attempts are
-recorded with ``status="failed"`` and excluded from aggregation;
-``strict=True`` restores fail-fast (first failure raises
-:class:`SweepError`, no retries).
+With an ``executor`` (see :mod:`repro.sweep.executors`) the sweep is
+instead *dispatched*: split into ``executor.n_shards`` deterministic
+slices, each submitted as a shard, supervised until every shard reports
+``ok`` — a ``lost`` shard (killed process, dead host, stale heartbeat)
+is re-dispatched under :class:`~repro.sweep.retry.ShardRetryPolicy`,
+reusing cached cells from the lost attempt — and finally auto-merged
+through the validated merge path, so the returned
+:class:`SweepResult`'s ``aggregate.csv`` is bit-identical to an
+undispatched run.  The merged manifest (schema ``repro.sweep/v3``)
+records per-shard status/attempts/host under ``dispatch``.
+
+Cell-level fault tolerance (retry with backoff, per-run timeouts,
+worker-crash isolation, ``strict`` fail-fast) is unchanged from the
+process-pool engine, which now lives in
+:mod:`repro.sweep.executors.local`.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
 from repro.sweep.aggregate import aggregate_records
 from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
-from repro.sweep.grid import RunSpec, expand_grid, shard_specs
-from repro.sweep.retry import (
-    KIND_CRASH,
-    RetryPolicy,
-    SweepError,
-    classify_error,
-    error_summary,
-    run_deadline,
+from repro.sweep.executors.base import (
+    SHARD_FAILED,
+    SHARD_LOST,
+    SHARD_OK,
+    Executor,
+    ShardSpec,
 )
+from repro.sweep.executors.local import _run_cells
+from repro.sweep.grid import RunSpec, expand_grid, shard_specs
+from repro.sweep.retry import RetryPolicy, ShardRetryPolicy, SweepError
+
+#: Manifest schema written by this version; the merge path still reads v2.
+MANIFEST_SCHEMA = "repro.sweep/v3"
+
+Progress = Optional[Callable[[str], None]]
 
 
-def execute_spec(payload: dict) -> dict:
-    """Run one sweep cell — the worker-process entry point.
+@dataclass(frozen=True)
+class SweepConfig:
+    """Everything that defines one sweep, minus the experiment name.
 
-    Takes the plain-dict payload of a :class:`RunSpec` (name + kwargs
-    only, so it pickles trivially), plus an optional ``timeout_s`` the
-    worker enforces on itself, and returns a serialized run record.
+    Replaces the former ``run_sweep`` keyword pile; old keywords are
+    still accepted for one release through a ``DeprecationWarning``
+    shim.  ``shard`` marks this process as one ``i/n`` slice (the
+    shard-worker role); ``shard_retry``/``shard_dir`` only matter when
+    an executor dispatches the sweep (``shard_dir`` is where per-shard
+    artifact directories and heartbeats live — default: a temporary
+    directory removed after the merge).
     """
-    from repro.eval import registry
-    from repro.eval.results import result_type_name, serialize_result
 
-    spec = registry.get(payload["experiment"])
-    params = {key: value for key, value in payload["params"]}
-    call_params = dict(params)
-    seed = payload.get("seed")
-    if seed is not None:
-        if spec.accepts_seed:
-            call_params["seed"] = seed
-        else:
-            warnings.warn(
-                f"experiment {payload['experiment']!r} takes no seed "
-                f"parameter; derived seed {seed} ignored (run is "
-                f"deterministic)", RuntimeWarning, stacklevel=2)
-    started = time.perf_counter()
-    with run_deadline(payload.get("timeout_s")):
-        result = spec.run(**call_params)
-    elapsed = time.perf_counter() - started
-    return {
-        "experiment": payload["experiment"],
-        "seed_index": payload["seed_index"],
-        "seed": payload["seed"],
-        "params": params,
-        "elapsed_s": elapsed,
-        "status": "ok",
-        "result_type": result_type_name(result),
-        "result": serialize_result(result),
-    }
+    seeds: int = 8
+    jobs: int = 1
+    params: Optional[Mapping[str, object]] = None
+    grid: Optional[Mapping[str, Sequence[object]]] = None
+    root_seed: int = 0
+    cache: Optional[ResultCache] = None
+    use_cache: bool = True
+    cache_dir: str = DEFAULT_CACHE_DIR
+    cache_max_bytes: Optional[int] = None
+    shard: Optional[Tuple[int, int]] = None
+    retry: Optional[RetryPolicy] = None
+    strict: bool = False
+    shard_retry: Optional[ShardRetryPolicy] = None
+    shard_dir: Optional[str] = None
 
 
-def failed_record(spec: RunSpec, error: BaseException,
-                  attempts: int) -> dict:
-    """The run record for a cell whose every attempt failed."""
-    return {
-        "experiment": spec.experiment,
-        "seed_index": spec.seed_index,
-        "seed": spec.seed,
-        "params": dict(spec.params),
-        "elapsed_s": 0.0,
-        "status": "failed",
-        "attempts": attempts,
-        "error": error_summary(error),
-        "result_type": "",
-        "result": None,
-    }
+_CONFIG_FIELDS = tuple(f.name for f in fields(SweepConfig))
 
 
 @dataclass
@@ -117,6 +108,9 @@ class SweepResult:
     shard: Optional[Tuple[int, int]] = None  # (index, count) or None
     n_total: int = 0  # full unsharded run count
     artifact_paths: Dict[str, str] = field(default_factory=dict)
+    #: Shard-dispatch record (executor name + per-shard status rows),
+    #: populated only for executor-dispatched sweeps.  Schema v3.
+    dispatch: Optional[dict] = None
 
     @property
     def n_runs(self) -> int:
@@ -128,7 +122,7 @@ class SweepResult:
 
     def manifest(self) -> dict:
         return {
-            "schema": "repro.sweep/v2",
+            "schema": MANIFEST_SCHEMA,
             "experiment": self.experiment,
             "root_seed": self.root_seed,
             "seeds": self.seeds,
@@ -144,6 +138,7 @@ class SweepResult:
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses,
                       "dir": self.cache_dir},
             "elapsed_s": self.elapsed_s,
+            "dispatch": self.dispatch,
             "runs": self.records,
             "aggregate": self.aggregate,
         }
@@ -161,6 +156,16 @@ class SweepResult:
             f"({self.cache_dir or 'disabled'})",
             f"elapsed: {self.elapsed_s:.2f} s",
         ]
+        if self.dispatch:
+            statuses = [row["status"] for row in self.dispatch["shards"]]
+            redispatched = sum(1 for row in self.dispatch["shards"]
+                               if row["attempts"] > 1)
+            line = (f"dispatched {len(statuses)} shard(s) via "
+                    f"{self.dispatch['executor']}: "
+                    f"{statuses.count('ok')} ok")
+            if redispatched:
+                line += f", {redispatched} re-dispatched"
+            lines.append(line)
         if self.n_failed:
             lines.append(f"FAILED runs: {self.n_failed}/{self.n_runs} "
                          f"(see sweep.json run errors)")
@@ -169,149 +174,35 @@ class SweepResult:
         return lines
 
 
-def _execute_pending(
-    specs: Sequence[RunSpec],
-    pending: Sequence[int],
-    *,
-    jobs: int,
-    policy: RetryPolicy,
-    strict: bool,
-    cache: ResultCache,
-    progress: Optional[Callable[[str], None]],
-) -> Dict[int, dict]:
-    """Round-based execution with retry: cell index -> final record."""
-    results: Dict[int, dict] = {}
-    attempts: Dict[int, int] = {index: 0 for index in pending}
-    queue: List[int] = list(pending)
-    total = len(pending)
-    completed = 0
-    retry_round = 0
-    isolate = False  # after a crash round: one single-worker pool per cell
-
-    def payload_for(index: int) -> dict:
-        payload = specs[index].payload()
-        if policy.timeout_s is not None:
-            payload["timeout_s"] = policy.timeout_s
-        return payload
-
-    while queue:
-        if retry_round:
-            delay = policy.backoff_delay(retry_round)
-            if delay:
-                time.sleep(delay)
-        failures: Dict[int, BaseException] = {}
-        fresh: Dict[int, dict] = {}
-        if jobs <= 1:
-            # Inline: no worker to crash, but also no crash isolation —
-            # a cell that kills its process kills the sweep (jobs>=2
-            # exists precisely to contain that).
-            for index in queue:
-                attempts[index] += 1
-                try:
-                    fresh[index] = execute_spec(payload_for(index))
-                except Exception as error:
-                    failures[index] = error
-        elif isolate:
-            # A worker crash breaks its whole pool, failing every cell
-            # in flight with it.  Rerun each suspect in its own
-            # single-worker pool so a poisoned cell exhausts only its
-            # own attempts and collateral cells complete normally.
-            for index in queue:
-                attempts[index] += 1
-                with ProcessPoolExecutor(max_workers=1) as pool:
-                    try:
-                        fresh[index] = pool.submit(
-                            execute_spec, payload_for(index)).result()
-                    except Exception as error:
-                        failures[index] = error
-        else:
-            # One pool per round: a crash poisons the pool, so
-            # surviving cells get a clean pool on the retry round.
-            with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(queue))) as pool:
-                futures = {}
-                for index in queue:
-                    attempts[index] += 1
-                    futures[pool.submit(execute_spec,
-                                        payload_for(index))] = index
-                for future in as_completed(futures):
-                    index = futures[future]
-                    try:
-                        fresh[index] = future.result()
-                    except Exception as error:
-                        failures[index] = error
-        isolate = any(classify_error(error) == KIND_CRASH
-                      for error in failures.values())
-
-        for index in sorted(fresh):
-            record = fresh[index]
-            record["attempts"] = attempts[index]
-            cache.store(specs[index], record)
-            results[index] = record
-            completed += 1
-            if progress is not None:
-                progress(
-                    f"run {completed}/{total}: seed_index="
-                    f"{specs[index].seed_index} seed={specs[index].seed} "
-                    f"({record['elapsed_s']:.2f} s)")
-
-        retry_queue: List[int] = []
-        for index in sorted(failures):
-            error = failures[index]
-            spec = specs[index]
-            if strict:
-                raise SweepError(
-                    f"run seed_index={spec.seed_index} "
-                    f"seed={spec.seed} of {spec.experiment!r} failed "
-                    f"({error_summary(error)['kind']}): {error}"
-                ) from error
-            if policy.allows_retry(attempts[index]):
-                retry_queue.append(index)
-                if progress is not None:
-                    progress(
-                        f"retrying seed_index={spec.seed_index} "
-                        f"seed={spec.seed} (attempt "
-                        f"{attempts[index]}/{policy.max_attempts} "
-                        f"{error_summary(error)['kind']}: {error})")
-            else:
-                results[index] = failed_record(spec, error,
-                                               attempts[index])
-                completed += 1
-                if progress is not None:
-                    progress(
-                        f"run {completed}/{total}: seed_index="
-                        f"{spec.seed_index} seed={spec.seed} FAILED "
-                        f"after {attempts[index]} attempt(s) "
-                        f"({error_summary(error)['kind']}: {error})")
-        queue = retry_queue
-        retry_round += 1
-    return results
+def _coerce_config(config: Optional[SweepConfig],
+                   legacy: Dict[str, object]) -> SweepConfig:
+    """Fold deprecated ``run_sweep(**kwargs)`` calls into a SweepConfig."""
+    if not legacy:
+        return config if config is not None else SweepConfig()
+    if config is not None:
+        raise TypeError(
+            "pass either a SweepConfig or legacy keyword arguments to "
+            "run_sweep, not both")
+    unknown = sorted(set(legacy) - set(_CONFIG_FIELDS))
+    if unknown:
+        raise TypeError(
+            f"run_sweep() got unexpected keyword argument(s) "
+            f"{', '.join(unknown)}")
+    warnings.warn(
+        "passing sweep settings as run_sweep keyword arguments is "
+        "deprecated; pass a repro.sweep.SweepConfig instead",
+        DeprecationWarning, stacklevel=3)
+    return SweepConfig(**legacy)  # type: ignore[arg-type]
 
 
-def run_sweep(
-    experiment: str,
-    *,
-    seeds: int = 8,
-    jobs: int = 1,
-    params: Optional[Mapping[str, object]] = None,
-    grid: Optional[Mapping[str, Sequence[object]]] = None,
-    root_seed: int = 0,
-    cache: Optional[ResultCache] = None,
-    use_cache: bool = True,
-    cache_dir: str = DEFAULT_CACHE_DIR,
-    cache_max_bytes: Optional[int] = None,
-    shard: Optional[Tuple[int, int]] = None,
-    retry: Optional[RetryPolicy] = None,
-    strict: bool = False,
-    progress: Optional[Callable[[str], None]] = None,
-) -> SweepResult:
-    """Run ``experiment`` across (grid x seeds), cached and in parallel."""
+def _validated_inputs(experiment: str, config: SweepConfig, *,
+                      progress: Progress):
+    """Registry lookup + param/grid coercion + grid expansion."""
     from repro.eval import registry
 
     spec_entry = registry.get(experiment)  # raises KeyError when unknown
-    policy = retry if retry is not None else RetryPolicy()
-    params = dict(params or {})
-    grid = {key: list(values) for key, values in (grid or {}).items()}
+    params = dict(config.params or {})
+    grid = {key: list(values) for key, values in (config.grid or {}).items()}
     overlap = set(params) & set(grid)
     if overlap:
         raise ValueError(
@@ -328,22 +219,55 @@ def run_sweep(
                   for value in values]
             for key, values in grid.items()}
 
-    n_seeds = seeds if spec_entry.accepts_seed else 1
-    if not spec_entry.accepts_seed and seeds > 1 and progress is not None:
+    n_seeds = config.seeds if spec_entry.accepts_seed else 1
+    if not spec_entry.accepts_seed and config.seeds > 1 \
+            and progress is not None:
         progress(f"note: {experiment} takes no seed parameter; "
                  f"running 1 deterministic run per grid point")
-    all_specs = expand_grid(experiment, params, grid, n_seeds, root_seed,
+    all_specs = expand_grid(experiment, params, grid, n_seeds,
+                            config.root_seed,
                             accepts_seed=spec_entry.accepts_seed)
+    return params, grid, n_seeds, all_specs
+
+
+def run_sweep(
+    experiment: str,
+    config: Optional[SweepConfig] = None,
+    *,
+    executor: Optional[Executor] = None,
+    progress: Progress = None,
+    **legacy,
+) -> SweepResult:
+    """Run ``experiment`` across (grid x seeds), cached and in parallel.
+
+    With ``executor=None`` the sweep runs in this process; otherwise it
+    is dispatched as shards through the executor and auto-merged (see
+    module docstring).
+    """
+    config = _coerce_config(config, legacy)
+    if executor is not None:
+        if config.shard is not None:
+            raise ValueError(
+                "config.shard marks this process as one shard of a "
+                "dispatched sweep; it cannot be combined with an "
+                "executor (use the executor's shard count instead)")
+        return _run_dispatched(experiment, config, executor, progress)
+
+    params, grid, n_seeds, all_specs = _validated_inputs(
+        experiment, config, progress=progress)
+    policy = config.retry if config.retry is not None else RetryPolicy()
     n_total = len(all_specs)
+    shard = config.shard
     specs = (shard_specs(all_specs, *shard) if shard is not None
              else all_specs)
     if shard is not None and progress is not None:
         progress(f"shard {shard[0]}/{shard[1]}: {len(specs)} of "
                  f"{n_total} runs")
 
+    cache = config.cache
     if cache is None:
-        cache = ResultCache(cache_dir, enabled=use_cache,
-                            max_bytes=cache_max_bytes)
+        cache = ResultCache(config.cache_dir, enabled=config.use_cache,
+                            max_bytes=config.cache_max_bytes)
     started = time.perf_counter()
     records: List[Optional[dict]] = [None] * len(specs)
     pending: List[int] = []
@@ -361,9 +285,9 @@ def run_sweep(
         progress(f"cache: {hits}/{len(specs)} runs already computed")
 
     if pending:
-        executed = _execute_pending(specs, pending, jobs=jobs,
-                                    policy=policy, strict=strict,
-                                    cache=cache, progress=progress)
+        executed = _run_cells(specs, pending, jobs=config.jobs,
+                              policy=policy, strict=config.strict,
+                              cache=cache, progress=progress)
         for index in pending:
             record = dict(executed[index])
             record["cached"] = False
@@ -374,9 +298,9 @@ def run_sweep(
          if record.get("status", "ok") == "ok"])
     return SweepResult(
         experiment=experiment,
-        root_seed=root_seed,
+        root_seed=config.root_seed,
         seeds=n_seeds,
-        jobs=jobs,
+        jobs=config.jobs,
         params=params,
         grid=grid,
         specs=specs,
@@ -390,3 +314,109 @@ def run_sweep(
         shard=shard,
         n_total=n_total,
     )
+
+
+# ---------------------------------------------------------------------------
+# Dispatched execution: shards through an Executor, merged at the end
+# ---------------------------------------------------------------------------
+
+def _run_dispatched(experiment: str, config: SweepConfig,
+                    executor: Executor, progress: Progress) -> SweepResult:
+    """Split the sweep into shards, supervise them, merge the artifacts."""
+    from repro.sweep.merge import merge_sweep_dirs
+
+    # Validate everything up front so a typo fails here, not inside a
+    # child process on another host; children re-coerce identically.
+    params, grid, _n_seeds, all_specs = _validated_inputs(
+        experiment, config, progress=progress)
+    count = executor.n_shards
+    policy = (config.shard_retry if config.shard_retry is not None
+              else ShardRetryPolicy())
+    started = time.perf_counter()
+
+    workdir = config.shard_dir
+    cleanup = workdir is None
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-sweep-dispatch-")
+    os.makedirs(workdir, exist_ok=True)
+
+    # Children re-derive their slice from the same coordinates, so the
+    # child config is shard-free and must not inherit process-local
+    # state (a live cache object, dispatch settings).
+    child_config = replace(config, params=params, grid=grid, shard=None,
+                           cache=None, shard_retry=None, shard_dir=None)
+    shard_list = [
+        ShardSpec(
+            experiment=experiment,
+            config=child_config,
+            index=index,
+            count=count,
+            out_dir=os.path.join(workdir, f"shard-{index}"),
+            heartbeat=(os.path.join(workdir, f"shard-{index}.heartbeat")
+                       if executor.wants_heartbeat else None),
+        )
+        for index in range(count)
+    ]
+    if progress is not None:
+        progress(f"dispatching {len(all_specs)} runs as {count} shard(s) "
+                 f"via {executor.name}")
+
+    handles = {}
+    try:
+        for spec in shard_list:
+            handles[spec.index] = executor.submit(spec)
+        while True:
+            executor.poll()
+            busy = False
+            for index in sorted(handles):
+                handle = handles[index]
+                if handle.status == SHARD_OK:
+                    continue
+                if handle.status == SHARD_LOST:
+                    if not policy.allows_retry(handle.attempts):
+                        raise SweepError(
+                            f"shard {index}/{count} lost after "
+                            f"{handle.attempts} dispatch attempt(s) "
+                            f"(last host {handle.host}): {handle.error}")
+                    if progress is not None:
+                        progress(
+                            f"shard {index}/{count} lost on "
+                            f"{handle.host} ({handle.error}); "
+                            f"re-dispatching (attempt "
+                            f"{handle.attempts + 1}/{policy.max_attempts})")
+                    handles[index] = executor.resubmit(handle)
+                    busy = True
+                elif handle.status == SHARD_FAILED:
+                    raise SweepError(
+                        f"shard {index}/{count} failed on {handle.host}: "
+                        f"{handle.error}")
+                else:
+                    busy = True
+            if not busy:
+                break
+            time.sleep(policy.poll_interval_s)
+    except BaseException:
+        executor.cancel()
+        raise
+    finally:
+        if cleanup and any(
+                handles.get(i) is None or handles[i].status != SHARD_OK
+                for i in range(count)):
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    merged = merge_sweep_dirs(executor.collect())
+    merged.jobs = config.jobs
+    merged.elapsed_s = time.perf_counter() - started  # wall clock
+    merged.dispatch = {
+        "executor": executor.name,
+        "n_shards": count,
+        "shards": [handles[index].describe() for index in sorted(handles)],
+    }
+    if progress is not None:
+        for index in sorted(handles):
+            handle = handles[index]
+            progress(f"shard {index}/{count}: {handle.status} on "
+                     f"{handle.host} after {handle.attempts} attempt(s)")
+    if cleanup:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return merged

@@ -161,8 +161,8 @@ class TestRegisteredSpecs:
         assert seen_any
 
     def test_sweep_rejects_bad_value_before_workers(self, tmp_path):
-        from repro.sweep.runner import run_sweep
+        from repro.sweep.runner import SweepConfig, run_sweep
 
         with pytest.raises(ParamError, match="'fraction'"):
-            run_sweep("fig6_6", params={"fraction": "a-fifth"},
-                      cache_dir=str(tmp_path))
+            run_sweep("fig6_6", SweepConfig(
+                params={"fraction": "a-fifth"}, cache_dir=str(tmp_path)))

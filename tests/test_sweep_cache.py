@@ -10,9 +10,15 @@ from repro.eval import registry
 from repro.eval.registry import ExperimentSpec
 from repro.sweep.cache import ResultCache, code_version
 from repro.sweep.grid import RunSpec, canonical_params
-from repro.sweep.runner import run_sweep
+from repro.sweep.runner import SweepConfig
+from repro.sweep.runner import run_sweep as _run_sweep
 
 TOY = "toy-cache-test"
+
+
+def run_sweep(experiment, **settings):
+    """Keyword-style helper: every sweep here goes through SweepConfig."""
+    return _run_sweep(experiment, SweepConfig(**settings))
 
 
 def toy_experiment(scale: float = 1.0, seed: int = 0):

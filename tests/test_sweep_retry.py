@@ -18,7 +18,14 @@ from repro.sweep.retry import (
     classify_error,
     run_deadline,
 )
-from repro.sweep.runner import execute_spec, run_sweep
+from repro.sweep.executors.local import _execute_cell
+from repro.sweep.runner import SweepConfig
+from repro.sweep.runner import run_sweep as _run_sweep
+
+
+def run_sweep(experiment, **settings):
+    """Keyword-style helper: every sweep here goes through SweepConfig."""
+    return _run_sweep(experiment, SweepConfig(**settings))
 
 
 def flaky_experiment(counter_path: str = "", fail_times: int = 2,
@@ -242,7 +249,7 @@ class TestSeedHandling:
             payload = {"experiment": "seedless-test",
                        "params": [["x", 3]], "seed_index": 0, "seed": 42}
             with pytest.warns(RuntimeWarning, match="takes no seed"):
-                record = execute_spec(payload)
+                record = _execute_cell(payload)
             assert record["status"] == "ok"
             assert record["result"] == {"x": 3}
         finally:

@@ -10,10 +10,16 @@ from repro.eval import registry
 from repro.eval.registry import ExperimentSpec
 from repro.eval.results import serialize_result
 from repro.sweep.aggregate import aggregate_records, flatten_numeric, summarize
-from repro.sweep.artifacts import result_to_dict, write_sweep_artifacts
-from repro.sweep.runner import run_sweep
+from repro.sweep.artifacts import write_sweep_artifacts
+from repro.sweep.runner import SweepConfig
+from repro.sweep.runner import run_sweep as _run_sweep
 
 TOY = "toy-runner-test"
+
+
+def run_sweep(experiment, **settings):
+    """Keyword-style helper: every sweep here goes through SweepConfig."""
+    return _run_sweep(experiment, SweepConfig(**settings))
 
 
 def toy_experiment(scale: float = 1.0, seed: int = 0):
@@ -132,10 +138,6 @@ class TestArtifacts:
         out = serialize_result({"p": Plain(1, (2, 3)), "s": {4}})
         assert out == {"p": {"x": 1, "items": [2, 3]}, "s": [4]}
 
-    def test_result_to_dict_shim_warns_but_works(self):
-        with pytest.warns(DeprecationWarning):
-            assert result_to_dict({"a": (1, 2)}) == {"a": [1, 2]}
-
     def test_write_sweep_artifacts(self, tmp_path, toy_registered):
         sweep = run_sweep(toy_registered, seeds=3, jobs=1,
                           cache_dir=str(tmp_path / "cache"))
@@ -145,7 +147,7 @@ class TestArtifacts:
 
         with open(paths["sweep.json"]) as handle:
             manifest = json.load(handle)
-        assert manifest["schema"] == "repro.sweep/v2"
+        assert manifest["schema"] == "repro.sweep/v3"
         assert manifest["experiment"] == toy_registered
         assert manifest["n_runs"] == 3
         assert len(manifest["runs"]) == 3

@@ -21,9 +21,15 @@ from repro.sweep.merge import (
     merge_manifests,
     merge_sweep_dirs,
 )
-from repro.sweep.runner import run_sweep
+from repro.sweep.runner import SweepConfig
+from repro.sweep.runner import run_sweep as _run_sweep
 
 TOY = "toy-shard-test"
+
+
+def run_sweep(experiment, **settings):
+    """Keyword-style helper: every sweep here goes through SweepConfig."""
+    return _run_sweep(experiment, SweepConfig(**settings))
 
 
 def toy_experiment(scale: float = 1.0, seed: int = 0):
