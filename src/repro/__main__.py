@@ -11,6 +11,8 @@
     python -m repro merge /tmp/s0 /tmp/s1 --out /tmp/merged
     python -m repro sweep fig6_6 --seeds 8 --executor subprocess --shards 2
     python -m repro sweep fig6_6 --executor ssh --hosts fast:8,spare:2
+    python -m repro lint                 # static invariant checks
+    python -m repro lint --list-rules    # the rule catalogue
 
 ``run`` prints the same series its bench writes to
 ``benchmarks/results/`` (see EXPERIMENTS.md for the paper-vs-measured
@@ -19,7 +21,10 @@ seeds/parameter grids with caching, retry/timeout fault tolerance and
 JSON/CSV artifacts; ``merge`` unions the outputs of ``--shard`` runs
 back into one aggregate; ``--executor`` dispatches the shards itself —
 locally, as supervised child processes, or across ssh hosts — and
-auto-merges (see "Distributed sweeps" in EXPERIMENTS.md).
+auto-merges (see "Distributed sweeps" in EXPERIMENTS.md); ``lint`` runs
+the repo's AST-based invariant checks — determinism in simulation code,
+pickle safety across the sweep dispatch boundary, registry contracts —
+(see "Static analysis" in EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from typing import List
 
 
 def main(argv: List[str]) -> int:
+    from repro.analysis.cli import add_lint_parser, cmd_lint
     from repro.eval import registry
     from repro.sweep.cli import (
         add_merge_parser,
@@ -54,12 +60,15 @@ def main(argv: List[str]) -> int:
                      help="random seed for experiments that accept one")
     add_sweep_parser(sub)
     add_merge_parser(sub)
+    add_lint_parser(sub)
     args = parser.parse_args(argv)
 
     if args.command == "sweep":
         return cmd_sweep(args)
     if args.command == "merge":
         return cmd_merge(args)
+    if args.command == "lint":
+        return cmd_lint(args)
 
     if args.command == "list":
         width = max(len(name) for name in registry.names())

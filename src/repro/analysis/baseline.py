@@ -1,0 +1,92 @@
+"""Baseline files: grandfathered findings, each with a written reason.
+
+A baseline is a checked-in JSON file mapping finding fingerprints to
+``{rule, path, message, reason}``.  Findings whose fingerprint appears
+in the baseline are reported as *baselined* instead of failing the run —
+but only if the entry carries a non-empty ``reason``: a grandfathered
+violation without a rationale is indistinguishable from a rubber stamp,
+so the loader rejects it.
+
+Fingerprints hash (rule, path, offending-line text, occurrence index)
+rather than line numbers, so unrelated edits don't invalidate entries;
+entries whose finding has disappeared are *stale* and reported (non-
+fatally) so the file shrinks as violations get fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.findings import Finding
+
+BASELINE_SCHEMA = "repro.lint-baseline/v1"
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or missing required reasons."""
+
+
+@dataclass
+class Baseline:
+    """In-memory view of one baseline file."""
+
+    path: str
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls(path=path)
+        with open(path, encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise BaselineError(
+                    f"baseline {path}: not valid JSON ({error})") from None
+        if not isinstance(data, dict) \
+                or data.get("schema") != BASELINE_SCHEMA:
+            raise BaselineError(
+                f"baseline {path}: expected schema {BASELINE_SCHEMA!r}, "
+                f"got {data.get('schema') if isinstance(data, dict) else data!r}")
+        entries = data.get("findings", {})
+        for fingerprint, entry in entries.items():
+            if not str(entry.get("reason", "")).strip():
+                raise BaselineError(
+                    f"baseline {path}: entry {fingerprint} "
+                    f"({entry.get('rule')} at {entry.get('path')}) has no "
+                    f"reason; every grandfathered finding must say why "
+                    f"it is allowed to stand")
+        return cls(path=path, entries=dict(entries))
+
+    def save(self, findings: List[Finding], *,
+             reason: str = "grandfathered at baseline creation") -> None:
+        """Write ``findings`` as the new baseline, preserving the reasons
+        of entries that already existed."""
+        entries = {}
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            previous = self.entries.get(fingerprint, {})
+            entries[fingerprint] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "reason": previous.get("reason", reason),
+            }
+        payload = {"schema": BASELINE_SCHEMA, "findings": entries}
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        self.entries = entries
+
+    def match(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def stale_entries(self, findings: List[Finding]) -> Dict[str, dict]:
+        """Baseline entries no longer matched by any current finding."""
+        live = {finding.fingerprint() for finding in findings}
+        return {fp: entry for fp, entry in self.entries.items()
+                if fp not in live}

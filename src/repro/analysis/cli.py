@@ -1,0 +1,117 @@
+"""The ``python -m repro lint`` subcommand."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    BaselineError,
+)
+from repro.analysis.engine import lint_paths
+from repro.analysis.findings import RULES
+
+
+def add_lint_parser(sub) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "lint",
+        help="static invariant checks (determinism, payload safety, "
+             "registry contracts)",
+        description=(
+            "AST-based linter for the reproduction's correctness "
+            "invariants: no hidden nondeterminism in simulation code "
+            "(DET*), nothing unpicklable across the sweep dispatch "
+            "boundary (PAY*), experiment specs and result types that "
+            "honor the registry contracts (REG*).  Exits 1 on any "
+            "finding that is neither suppressed inline "
+            "(# repro-lint: disable=RULE -- reason) nor grandfathered "
+            "in the baseline file."),
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--rule", action="append", default=[],
+                        metavar="ID",
+                        help="check only these rule IDs (repeatable)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        metavar="FILE",
+                        help=f"baseline of grandfathered findings "
+                             f"(default {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record every current finding into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.set_defaults(_handler=cmd_lint)
+    return parser
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULES)
+        for rule_id in sorted(RULES):
+            print(f"{rule_id:<{width}}  {RULES[rule_id].summary}")
+        return 0
+
+    try:
+        baseline: Optional[Baseline] = (
+            None if args.no_baseline else Baseline.load(args.baseline))
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        report = lint_paths(args.paths, rules=args.rule or None,
+                            baseline=baseline)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if baseline is None:
+            print("error: --write-baseline conflicts with --no-baseline",
+                  file=sys.stderr)
+            return 2
+        baseline.save(report.new + report.baselined)
+        print(f"wrote {len(report.new) + len(report.baselined)} "
+              f"finding(s) to {baseline.path}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+
+    for finding in report.new:
+        print(finding.render())
+    for finding, reason in report.suppressed:
+        print(f"{finding.render()}  [suppressed: {reason}]")
+    for finding in report.baselined:
+        print(f"{finding.render()}  [baselined]")
+    for fingerprint, entry in sorted(report.stale_baseline.items()):
+        print(f"note: stale baseline entry {fingerprint} "
+              f"({entry.get('rule')} at {entry.get('path')}): finding "
+              f"no longer present; prune it", file=sys.stderr)
+    summary = (f"{report.files_checked} file(s) checked: "
+               f"{len(report.new)} new, {len(report.suppressed)} "
+               f"suppressed, {len(report.baselined)} baselined")
+    print(summary)
+    return report.exit_code
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.analysis")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(sub)
+    args = parser.parse_args(argv)
+    return args._handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

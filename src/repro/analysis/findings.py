@@ -1,0 +1,94 @@
+"""Finding and rule-catalogue types shared by every lint pass.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`Finding.fingerprint` is deliberately line-number-free — it hashes
+the rule, the file, and the *text* of the offending line (plus an
+occurrence index for identical lines) — so a baseline entry keeps
+matching while unrelated edits shift the file around it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable ID, one-line summary, rationale."""
+
+    id: str
+    summary: str
+    rationale: str = ""
+
+
+@dataclass
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    path: str  # as given on the command line (normalized, relative ok)
+    line: int  # 1-based
+    col: int   # 0-based, ast convention
+    message: str
+    source_line: str = ""  # stripped text of the offending line
+    #: occurrence index among findings with the same (rule, path, text);
+    #: keeps fingerprints distinct when one line is duplicated verbatim.
+    occurrence: int = 0
+
+    def fingerprint(self) -> str:
+        key = f"{self.rule}|{self.path}|{self.source_line}|{self.occurrence}"
+        return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+def assign_occurrences(findings: List[Finding]) -> None:
+    """Number findings that share (rule, path, source text) 0, 1, 2, ...
+
+    Must run before fingerprints are compared against a baseline.
+    Findings are numbered in line order so the mapping is stable.
+    """
+    counts: Dict[tuple, int] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col)):
+        key = (finding.rule, finding.path, finding.source_line)
+        finding.occurrence = counts.get(key, 0)
+        counts[key] = finding.occurrence + 1
+
+
+#: The rule catalogue.  IDs are stable public API: tests, suppression
+#: comments and baselines all reference them.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(id: str, summary: str, rationale: str = "") -> Rule:
+    """Declare one rule in the catalogue (module-import time)."""
+    entry = Rule(id, summary, rationale)
+    RULES[id] = entry
+    return entry
+
+
+# Meta rules the engine itself emits (not tied to a pass).
+LNT001 = rule(
+    "LNT001",
+    "suppression comment without a reason",
+    "`# repro-lint: disable=RULE` must carry `-- <why>` so the next "
+    "reader knows why the invariant is waived here.",
+)
+LNT002 = rule(
+    "LNT002",
+    "file does not parse",
+    "a lint target with a syntax error cannot be checked at all.",
+)

@@ -1,0 +1,203 @@
+"""Parsed-source model: per-file info and the cross-file project index.
+
+Rule passes never touch the filesystem; they see a :class:`ModuleInfo`
+(one parsed file: AST, source lines, dotted module name, suppressions)
+and a :class:`ProjectIndex` (every linted module's top-level functions
+and classes, keyed by dotted name) so contract rules can resolve
+``ex.fig5_2_pr_pi2`` through the importing module's aliases and check
+the real signature.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+#: ``# repro-lint: disable=DET001,REG002 -- reason`` (reason optional at
+#: parse time; the engine reports LNT001 when it is missing).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(.*\S))?\s*$")
+#: ``# repro-lint: module=repro.net.fixture`` — override the inferred
+#: dotted module name (used by test fixtures to opt into scoped rules).
+_MODULE_RE = re.compile(r"#\s*repro-lint:\s*module=([\w.]+)")
+
+
+@dataclass
+class Suppression:
+    """One ``disable=`` pragma: which rules, on which line, and why."""
+
+    line: int  # the line the pragma waives (its own, or the next one)
+    rules: Tuple[str, ...]
+    reason: str
+    pragma_line: int  # where the comment physically sits
+
+
+@dataclass
+class FunctionInfo:
+    """A top-level function's signature, as contract rules need it."""
+
+    name: str
+    params: Tuple[str, ...]  # positional-or-keyword + keyword-only names
+    has_kwargs: bool
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    """A class's methods, base names and decorator names."""
+
+    name: str
+    methods: Set[str]
+    bases: Tuple[str, ...]      # source text of each base expression
+    decorators: Tuple[str, ...]  # source text of each decorator
+    lineno: int
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed lint target."""
+
+    path: str            # normalized path as reported in findings
+    module: str          # dotted module name ("" when unknown)
+    tree: ast.Module
+    lines: List[str]     # raw source lines, 0-indexed
+    suppressions: List[Suppression] = field(default_factory=list)
+    #: import alias -> dotted module name (``import x.y as z``,
+    #: ``from x import y`` when y is a module we indexed).
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, attr) for ``from x import y [as z]``.
+    imported_names: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, rule: str, line: int) -> Optional[Suppression]:
+        for sup in self.suppressions:
+            if sup.line == line and rule in sup.rules:
+                return sup
+        return None
+
+
+@dataclass
+class ProjectIndex:
+    """Cross-file lookup tables for contract rules."""
+
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)  # "mod.fn"
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)       # "mod.Cls"
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)      # by dotted name
+
+    def resolve_function(self, info: ModuleInfo,
+                         node: ast.expr) -> Optional[FunctionInfo]:
+        """Resolve a Name/Attribute expression to an indexed function."""
+        if isinstance(node, ast.Name):
+            target = info.imported_names.get(node.id)
+            if target is not None:
+                return self.functions.get(f"{target[0]}.{target[1]}")
+            return self.functions.get(f"{info.module}.{node.id}")
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            module = info.module_aliases.get(node.value.id)
+            if module is not None:
+                return self.functions.get(f"{module}.{node.attr}")
+        return None
+
+
+def infer_module_name(path: str) -> str:
+    """Dotted module name from a file path, by walking up __init__.py."""
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    directory = os.path.dirname(path)
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [""]
+    return ".".join(reversed(parts))
+
+
+def _parse_pragmas(info: ModuleInfo) -> None:
+    """Collect suppressions and the module-name override from comments."""
+    for index, raw in enumerate(info.lines, start=1):
+        text = raw.rstrip()
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            rules = tuple(part.strip() for part in match.group(1).split(",")
+                          if part.strip())
+            reason = (match.group(2) or "").strip()
+            # A comment-only line waives the next line; a trailing
+            # comment waives its own line.
+            code = text[:match.start()].strip()
+            target = index + 1 if not code else index
+            info.suppressions.append(
+                Suppression(line=target, rules=rules, reason=reason,
+                            pragma_line=index))
+        module_match = _MODULE_RE.search(text)
+        if module_match:
+            info.module = module_match.group(1)
+
+
+def _collect_imports(info: ModuleInfo) -> None:
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                info.module_aliases[alias.asname or
+                                    alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0])
+                if alias.asname:
+                    info.module_aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                full = f"{node.module}.{alias.name}"
+                # Could be a submodule (alias it) or a name (map it);
+                # record both views, resolvers try each.
+                info.module_aliases.setdefault(local, full)
+                info.imported_names[local] = (node.module, alias.name)
+
+
+def load_module(path: str, display_path: str) -> Tuple[Optional[ModuleInfo],
+                                                       Optional[str]]:
+    """Parse one file; returns (info, None) or (None, syntax error text)."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return None, f"line {error.lineno}: {error.msg}"
+    info = ModuleInfo(path=display_path, module=infer_module_name(path),
+                      tree=tree, lines=source.splitlines())
+    _parse_pragmas(info)
+    _collect_imports(info)
+    return info, None
+
+
+def index_module(info: ModuleInfo, index: ProjectIndex) -> None:
+    """Add one module's top-level functions/classes to the index."""
+    index.modules[info.module] = info
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            params = tuple(a.arg for a in args.posonlyargs + args.args
+                           + args.kwonlyargs)
+            index.functions[f"{info.module}.{node.name}"] = FunctionInfo(
+                name=node.name, params=params,
+                has_kwargs=args.kwarg is not None, lineno=node.lineno)
+        elif isinstance(node, ast.ClassDef):
+            methods = {item.name for item in node.body
+                       if isinstance(item, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))}
+            index.classes[f"{info.module}.{node.name}"] = ClassInfo(
+                name=node.name, methods=methods,
+                bases=tuple(ast.unparse(base) for base in node.bases),
+                decorators=tuple(ast.unparse(dec)
+                                 for dec in node.decorator_list),
+                lineno=node.lineno)

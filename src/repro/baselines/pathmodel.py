@@ -17,8 +17,8 @@ goes undetected*, which is a pure information-flow question.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
 
 @dataclass

@@ -16,7 +16,7 @@ Two detectors from Perlman's thesis:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.baselines.pathmodel import PathModel
 

@@ -19,8 +19,8 @@ two observation points).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.summaries import PathOracle
 from repro.crypto.fingerprint import FingerprintSampler, fingerprint

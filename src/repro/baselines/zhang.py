@@ -18,8 +18,8 @@ scored on identical traces.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.core.chi import TrafficRecord
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.detector import DetectorState, Suspicion
 from repro.core.summaries import PathOracle
@@ -38,11 +38,7 @@ from repro.crypto.keys import KeyInfrastructure
 from repro.dist.broadcast import robust_flood
 from repro.dist.sync import RoundSchedule
 from repro.net.packet import Packet
-from repro.net.queues import (
-    REDParams,
-    red_drop_probability,
-    red_packet_drop_probability,
-)
+from repro.net.queues import REDParams, red_packet_drop_probability
 from repro.net.router import MonitorTap, Network, Router
 
 

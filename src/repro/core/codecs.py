@@ -25,15 +25,13 @@ whatever happened was far beyond the benign-loss allowance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core.summaries import SummaryPolicy, TrafficSummary
-from repro.core.validation import TVResult, tv_content
+from repro.core.validation import TVResult
 from repro.dist.reconcile import (
     BloomFilter,
     CharacteristicPolynomialSet,
     ReconciliationError,
-    _to_field,
     bloom_difference_estimate,
     reconcile,
 )
@@ -115,7 +113,7 @@ def validate_encoded(encoded: EncodedSummary, local: TrafficSummary,
         bits, hashes, count, data = encoded.payload  # type: ignore
         remote_bloom = BloomFilter.from_bytes(data, bits, hashes, count)
         local_bloom = BloomFilter(bits=bits, hashes=hashes)
-        for fp in local_fps:
+        for fp in sorted(local_fps):
             local_bloom.add(fp)
         estimate = bloom_difference_estimate(remote_bloom, local_bloom)
         threshold = float(threshold)

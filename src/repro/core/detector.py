@@ -16,7 +16,7 @@ actually had a compromise attached and what it actually did):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 PathSegment = Tuple[str, ...]
 Interval = Tuple[float, float]
@@ -143,7 +143,7 @@ def completeness_report(
     faulty_routers = faulty_routers if faulty_routers is not None else set(traffic_faulty)
     report = CompletenessReport()
     correct = [r for r in states if not (correct_only and r in faulty_routers)]
-    for bad in traffic_faulty:
+    for bad in sorted(traffic_faulty):
         seen_everywhere = True
         for router in correct:
             state = states[router]

@@ -22,12 +22,12 @@ abreast of routing changes" (§5.3.1).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.detector import DetectorState, Suspicion
+from repro.core.detector import Suspicion
 from repro.core.pik2 import PiK2Config, ProtocolPiK2
-from repro.core.segments import all_routing_paths, monitored_segments_pik2
+from repro.core.segments import monitored_segments_pik2
 from repro.core.summaries import PathOracle, SegmentMonitor, SummaryPolicy
 from repro.crypto.keys import KeyInfrastructure
 from repro.dist.sync import ClockModel, RoundSchedule

@@ -24,16 +24,10 @@ suspected, preserving 2-accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.detector import DetectorState, Suspicion
-from repro.core.summaries import (
-    PathOracle,
-    PathSegment,
-    SegmentMonitor,
-    SummaryPolicy,
-    TrafficSummary,
-)
+from repro.core.summaries import PathSegment, SegmentMonitor, TrafficSummary
 from repro.core.validation import TVResult, validate
 from repro.crypto.keys import KeyInfrastructure
 from repro.dist.broadcast import robust_flood

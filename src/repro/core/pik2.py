@@ -15,13 +15,12 @@ cannot confine its attack to unmonitored packets (§5.2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.detector import DetectorState, Suspicion
 from repro.core.codecs import EncodedSummary, encode_summary, validate_encoded
 from repro.core.summaries import (
-    PathOracle,
     PathSegment,
     SegmentMonitor,
     SummaryPolicy,

@@ -25,8 +25,8 @@ timing slack.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.fingerprint import fingerprint
 from repro.net.packet import Packet

@@ -17,7 +17,6 @@ below the O(R^{k+1}) worst case — §5.1.1).
 from __future__ import annotations
 
 import heapq
-import itertools
 import statistics
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -103,7 +102,7 @@ def monitored_segments_pi2(
         raise ValueError("AdjacentFault(k) needs k >= 1")
     x = k + 2
     by_router: Dict[str, Set[PathSegment]] = defaultdict(set)
-    for path in set(paths):
+    for path in sorted(set(paths)):
         if len(path) >= x:
             for segment in enumerate_segments(path, x):
                 for router in segment:
@@ -127,7 +126,7 @@ def monitored_segments_pik2(
     if k < 1:
         raise ValueError("AdjacentFault(k) needs k >= 1")
     by_router: Dict[str, Set[PathSegment]] = defaultdict(set)
-    for path in set(paths):
+    for path in sorted(set(paths)):
         for x in range(3, k + 3):
             for segment in enumerate_segments(path, x):
                 by_router[segment[0]].add(segment)

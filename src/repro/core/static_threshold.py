@@ -14,10 +14,9 @@ like for like.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
-from repro.core.detector import Suspicion
 from repro.core.summaries import PathSegment, TrafficSummary
 
 

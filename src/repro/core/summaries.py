@@ -33,8 +33,8 @@ from __future__ import annotations
 
 import enum
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.crypto.fingerprint import FingerprintSampler, fingerprint
 from repro.dist.sync import ClockModel, RoundSchedule

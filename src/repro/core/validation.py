@@ -14,7 +14,7 @@ summaries' policy.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.summaries import SummaryPolicy, TrafficSummary

@@ -11,7 +11,6 @@ an adversary cannot engineer collisions against monitors).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Optional
 
 from repro.net.packet import Packet
 

@@ -21,7 +21,7 @@ space: silence, equivocation, selective relaying.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.crypto.keys import KeyInfrastructure
 from repro.crypto.signatures import Signed

@@ -20,7 +20,7 @@ from repro.baselines.watchers import (
     WatchersFlow,
     WatchersProtocol,
 )
-from repro.core.chi import ChiConfig, single_loss_confidence
+from repro.core.chi import single_loss_confidence
 from repro.core.fatih import FatihConfig, FatihSystem, RTTMonitor
 from repro.core.qmodel import appenzeller_loss_probability, appenzeller_sigma
 from repro.core.segments import (
@@ -31,15 +31,9 @@ from repro.core.segments import (
     pr_statistics,
     watchers_counter_count,
 )
-from repro.core.static_threshold import StaticThresholdDetector
 from repro.eval.metrics import DetectionMetrics, score_round_findings
 from repro.eval.results import EvalResultBase, register_result_type
-from repro.eval.scenarios import (
-    DropTailScenario,
-    REDScenario,
-    build_droptail_scenario,
-    build_red_scenario,
-)
+from repro.eval.scenarios import build_droptail_scenario, build_red_scenario
 from repro.net.adversary import (
     DropFlowAttack,
     QueueConditionalDropAttack,

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
 
 from repro.core.chi import RoundFinding
 from repro.eval.results import EvalResultBase, register_result_type

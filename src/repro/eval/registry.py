@@ -18,7 +18,7 @@ instead of deep inside a process pool.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.eval import experiments as ex
@@ -360,8 +360,18 @@ def _load_plugins() -> None:
 
     for name in os.environ.get("REPRO_PLUGINS", "").split(os.pathsep):
         name = name.strip()
-        if name:
+        if not name:
+            continue
+        try:
             importlib.import_module(name)
+        except Exception as error:
+            # Without this, a worker on another host dies with a bare
+            # traceback that never says which plugin entry was at fault.
+            raise ImportError(
+                f"REPRO_PLUGINS: plugin module {name!r} failed to "
+                f"import/register ({type(error).__name__}: {error}); "
+                f"fix the module or drop it from REPRO_PLUGINS"
+            ) from error
 
 
 _load_plugins()

@@ -16,13 +16,12 @@ Two builders return ready-to-run bundles:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.chi import ChiConfig, ProtocolChi
 from repro.core.summaries import PathOracle
 from repro.dist.sync import RoundSchedule
-from repro.net.packet import Packet, PacketKind
 from repro.net.queues import DropTailQueue, REDParams, REDQueue
 from repro.net.router import Network
 from repro.net.routing import install_static_routes

@@ -27,7 +27,7 @@ Attacks implemented (paper reference in parens):
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set
 
 from repro.net.packet import Packet, PacketKind
 from repro.net.queues import REDQueue

@@ -14,11 +14,10 @@ bytes, e.g. the 45,000 / 54,000-byte average thresholds of Figs 6.12-13).
 from __future__ import annotations
 
 import enum
-import math
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 from repro.net.packet import Packet
 

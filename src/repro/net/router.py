@@ -22,12 +22,11 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.events import Simulator
-from repro.net.packet import Packet, PacketKind
-from repro.net.queues import DropReason, DropTailQueue, QueueEvent, REDQueue
+from repro.net.packet import Packet
+from repro.net.queues import DropReason, DropTailQueue
 from repro.net.topology import Link, Topology
 
 

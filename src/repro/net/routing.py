@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.net.router import Network, Router
+from repro.net.router import Network
 from repro.net.topology import Topology
 
 PathSegment = Tuple[str, ...]
@@ -37,10 +37,18 @@ class ForwardingTable(dict):
     """dst -> list of next hops.  A thin dict subclass for clarity."""
 
 
-def _forbidden_windows(suspicions: Iterable[PathSegment]) -> Tuple[Set[Tuple[str, str]], Set[PathSegment]]:
-    """Split suspicions into excluded links and forbidden windows (len>=3)."""
+def _forbidden_windows(
+    suspicions: Iterable[PathSegment],
+) -> Tuple[Set[Tuple[str, str]], Tuple[PathSegment, ...]]:
+    """Split suspicions into excluded links and forbidden windows (len>=3).
+
+    ``bad_links`` is only ever membership-tested, so a set is fine;
+    ``windows`` is *iterated* on the Dijkstra hot path, so it comes back
+    as a sorted tuple — set iteration order is PYTHONHASHSEED-salted and
+    must never reach path computation.
+    """
     bad_links: Set[Tuple[str, str]] = set()
-    windows: Set[PathSegment] = set()
+    window_set: Set[PathSegment] = set()
     for seg in suspicions:
         seg = tuple(seg)
         if len(seg) < 2:
@@ -48,8 +56,8 @@ def _forbidden_windows(suspicions: Iterable[PathSegment]) -> Tuple[Set[Tuple[str
         if len(seg) == 2:
             bad_links.add((seg[0], seg[1]))
         else:
-            windows.add(seg)
-    return bad_links, windows
+            window_set.add(seg)
+    return bad_links, tuple(sorted(window_set))
 
 
 def shortest_path_avoiding(

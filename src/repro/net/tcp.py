@@ -22,7 +22,7 @@ establishment latency).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.net.packet import Packet, PacketKind
 from repro.net.router import Network

@@ -22,8 +22,8 @@ Besides hand-built test topologies (chain, diamond) this module provides:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import networkx as nx
 

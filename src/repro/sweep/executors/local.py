@@ -105,7 +105,16 @@ def _execute_cell(payload: dict) -> dict:
     from repro.eval import registry
     from repro.eval.results import result_type_name, serialize_result
 
-    spec = registry.get(payload["experiment"])
+    try:
+        spec = registry.get(payload["experiment"])
+    except KeyError as error:
+        # In a shard child the likeliest cause is a plugin module that
+        # is not on REPRO_PLUGINS (or failed to import there); say so
+        # instead of leaving a bare KeyError traceback in shard.log.
+        raise LookupError(
+            f"{error.args[0]} (out-of-tree experiments must be "
+            f"importable via the REPRO_PLUGINS environment variable in "
+            f"every worker/shard process)") from None
     params = {key: value for key, value in payload["params"]}
     call_params = dict(params)
     seed = payload.get("seed")
@@ -114,7 +123,8 @@ def _execute_cell(payload: dict) -> dict:
             call_params["seed"] = seed
         else:
             warnings.warn(
-                f"experiment {payload['experiment']!r} takes no seed "
+                f"experiment {payload['experiment']!r} "
+                f"(module {spec.fn.__module__}) takes no seed "
                 f"parameter; derived seed {seed} ignored (run is "
                 f"deterministic)", RuntimeWarning, stacklevel=2)
     started = time.perf_counter()

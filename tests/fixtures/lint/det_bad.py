@@ -1,0 +1,49 @@
+# repro-lint: module=repro.net.fixture_bad
+"""Determinism fixture: every DET rule fires in this file."""
+
+import os
+import random
+import time
+from datetime import datetime
+from typing import Set
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # DET001 (line 14)
+
+
+def pick(items):
+    return random.choice(items)  # DET001 (line 18)
+
+
+def noise():
+    return np.random.rand(3)  # DET002 (line 22)
+
+
+def fresh_rng():
+    return np.random.default_rng()  # DET002 (line 26): no seed
+
+
+def stamp() -> float:
+    return time.time()  # DET003 (line 30)
+
+
+def born() -> str:
+    return str(datetime.now())  # DET003 (line 34)
+
+
+def token() -> bytes:
+    return os.urandom(8)  # DET003 (line 38)
+
+
+def visit(nodes: Set[str]) -> list:
+    out = []
+    for node in nodes:  # DET004 (line 43)
+        out.append(node)
+    return out
+
+
+def first_two(nodes: Set[str]) -> list:
+    return list(nodes)[:2]  # DET004 (line 49)

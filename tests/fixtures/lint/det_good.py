@@ -1,0 +1,30 @@
+# repro-lint: module=repro.net.fixture_good
+"""Determinism fixture: the clean twin of det_bad.py — zero findings."""
+
+import random
+from typing import Set
+
+import numpy as np
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()  # seeded instance: fine
+
+
+def noise(seed: int):
+    return np.random.default_rng(seed).random(3)  # seeded: fine
+
+
+def visit(nodes: Set[str]) -> list:
+    out = []
+    for node in sorted(nodes):  # sorted: fine
+        out.append(node)
+    return out
+
+
+def biggest(nodes: Set[str]) -> int:
+    return max(len(n) for n in nodes)  # order-insensitive reducer: fine
+
+
+def count(nodes: Set[str]) -> int:
+    return len(nodes)  # no iteration: fine

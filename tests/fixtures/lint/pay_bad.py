@@ -1,0 +1,21 @@
+"""Payload-safety fixture: every PAY rule fires in this file."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.sweep import SweepConfig
+
+
+def dispatch(pool: ProcessPoolExecutor):
+    pool.submit(lambda: 1)  # PAY001 (line 10)
+
+    def helper():
+        return 2
+
+    pool.submit(helper)  # PAY001 (line 15): nested function
+    handle = open("/tmp/data.txt")
+    pool.submit(print, handle)  # PAY002 (line 17)
+    lock = threading.Lock()
+    config = SweepConfig(params=lock)  # PAY002 (line 19)
+    pool.submit(sum, (n for n in range(3)))  # PAY003 (line 20)
+    return config

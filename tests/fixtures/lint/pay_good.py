@@ -1,0 +1,17 @@
+"""Payload-safety fixture: clean twin of pay_bad.py — zero findings."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.sweep import SweepConfig
+
+
+def work(n: int) -> int:
+    return n * 2
+
+
+def dispatch(pool: ProcessPoolExecutor):
+    pool.submit(work, 3)  # module-level callable: fine
+    config = SweepConfig(params={"alpha": 1})  # plain data: fine
+    threads = ThreadPoolExecutor()
+    threads.submit(lambda: 1)  # thread pool: no pickle boundary
+    return config

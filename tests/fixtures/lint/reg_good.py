@@ -1,0 +1,33 @@
+"""Registry-contract fixture: clean twin of reg_bad.py — zero findings."""
+
+from repro.eval.registry import ExperimentSpec, ParamSpec
+from repro.eval.results import EvalResultBase, register_result_type
+
+
+def experiment(alpha: int = 1, beta: float = 0.5):
+    return alpha * beta
+
+
+SPEC_OK = ExperimentSpec(
+    "fixture_ok", experiment, print,
+    defaults=(("alpha", 3),),
+    params=(ParamSpec("beta", float, 0.5),),
+)
+
+
+def flexible(**kwargs):
+    return kwargs
+
+
+SPEC_KWARGS = ExperimentSpec(
+    "fixture_kwargs", flexible, print,
+    defaults=(("anything", 1),),  # **kwargs accepts it: fine
+)
+
+
+@register_result_type
+class FullProtocol(EvalResultBase):
+    """Defines to_dict itself, inherits from_dict/fields: fine."""
+
+    def to_dict(self) -> dict:
+        return {}

@@ -1,0 +1,24 @@
+# repro-lint: module=repro.net.fixture_suppressed
+"""Suppression fixture: reasons are honored, missing reasons are LNT001."""
+
+import random
+
+
+def good_suppression() -> float:
+    # Trailing pragma with a reason: finding is suppressed.
+    return random.random()  # repro-lint: disable=DET001 -- fixture exercises suppression
+
+def also_good() -> float:
+    # Standalone pragma line with a reason waives the next line.
+    # repro-lint: disable=DET001 -- standalone pragma fixture
+    return random.random()
+
+
+def bad_suppression() -> float:
+    # Missing reason: DET001 still fires AND LNT001 is reported.
+    return random.random()  # repro-lint: disable=DET001
+
+
+def wrong_rule() -> float:
+    # Pragma for a different rule does not suppress DET001.
+    return random.random()  # repro-lint: disable=DET004 -- wrong rule on purpose

@@ -6,7 +6,6 @@ the bound from both sides: a colluding adjacent pair escapes a protocol
 provisioned for k = 1 and is caught by one provisioned for k = 2.
 """
 
-import pytest
 
 from repro.core.detector import accuracy_report
 from repro.core.pik2 import PiK2Config, ProtocolPiK2

@@ -1,11 +1,9 @@
 """Tests for Protocol χ: queue validators, confidence tests, protocol."""
 
-import math
 
 import pytest
 
 from repro.core.chi import (
-    ChiConfig,
     ProtocolChi,
     QueueValidator,
     REDQueueValidator,

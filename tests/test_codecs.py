@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.codecs import EncodedSummary, encode_summary, validate_encoded
+from repro.core.codecs import encode_summary, validate_encoded
 from repro.core.summaries import SummaryPolicy, TrafficSummary
 
 

@@ -14,7 +14,6 @@ from repro.dist.sync import ClockModel, RoundSchedule
 from repro.crypto.signatures import Signed
 from repro.net.adversary import ControlSuppressionAttack
 from repro.net.router import Network
-from repro.net.routing import install_static_routes
 from repro.net.topology import chain, diamond
 
 

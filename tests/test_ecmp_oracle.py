@@ -1,9 +1,8 @@
 """Tests for multipath-aware path prediction (§7.4.1)."""
 
-import pytest
 
 from repro.core.pik2 import ProtocolPiK2
-from repro.core.summaries import EcmpPathOracle, PathOracle, SegmentMonitor
+from repro.core.summaries import EcmpPathOracle, SegmentMonitor
 from repro.crypto.keys import KeyInfrastructure
 from repro.dist.sync import RoundSchedule
 from repro.net.adversary import DropFlowAttack

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.events import Event, Simulator
+from repro.net.events import Simulator
 
 
 class TestScheduling:

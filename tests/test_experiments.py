@@ -7,7 +7,7 @@ exercised at reduced size so the harness itself stays correct.
 import pytest
 
 from repro.eval import experiments as ex
-from repro.eval.metrics import DetectionMetrics, score_round_findings
+from repro.eval.metrics import score_round_findings
 from repro.core.chi import RoundFinding
 
 

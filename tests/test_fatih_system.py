@@ -1,6 +1,5 @@
 """Additional Fatih coordinator behaviours: re-arming, segment hygiene."""
 
-import pytest
 
 from repro.core.fatih import FatihConfig, FatihSystem
 from repro.net.adversary import DropFractionAttack

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core.pik2 import PiK2Config, ProtocolPiK2
 from repro.core.summaries import PathOracle, SegmentMonitor
 from repro.crypto.fingerprint import fingerprint
-from repro.crypto.keys import KeyInfrastructure
 from repro.dist.sync import RoundSchedule
 from repro.net.packet import Packet
 from repro.net.router import Network

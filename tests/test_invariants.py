@@ -5,15 +5,13 @@ these tests pin the *simulator's* own books: every originated packet is
 delivered, queued, in flight, or accounted to exactly one drop event.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net.packet import Packet
 from repro.net.queues import DropReason
 from repro.net.router import MonitorTap, Network
 from repro.net.routing import install_static_routes
-from repro.net.topology import MBPS, Topology, chain
+from repro.net.topology import MBPS, Topology
 from repro.net.traffic import PoissonSource
 from repro.net.adversary import DropFlowAttack
 

@@ -5,12 +5,11 @@ cover the simulator's failure machinery and the daemon's OSPF-style
 dead-interval handling (adjacency drop → LSA → SPF → reroute).
 """
 
-import pytest
 
 from repro.net.packet import Packet
 from repro.net.router import Network
 from repro.net.routing import LinkStateRouting, install_static_routes
-from repro.net.topology import MBPS, abilene, chain, diamond
+from repro.net.topology import MBPS, abilene, chain
 
 
 class TestPhysicalFailure:

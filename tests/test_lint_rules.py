@@ -1,0 +1,149 @@
+"""Per-rule tests for the repro.analysis lint passes.
+
+Each rule class gets a good/bad fixture pair under
+``tests/fixtures/lint/``: the bad file must produce exactly the findings
+its inline comments claim (IDs *and* line numbers), the good twin must
+be silent.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import RULES, lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def findings_for(name: str):
+    report = lint_paths([fixture(name)])
+    return [(f.rule, f.line) for f in report.new]
+
+
+def test_rule_catalogue_has_all_families():
+    ids = set(RULES)
+    assert {"DET001", "DET002", "DET003", "DET004"} <= ids
+    assert {"PAY001", "PAY002", "PAY003"} <= ids
+    assert {"REG001", "REG002", "REG003"} <= ids
+    assert {"LNT001", "LNT002"} <= ids
+    for rule in RULES.values():
+        assert rule.summary
+
+
+def test_determinism_bad_fixture():
+    got = findings_for("det_bad.py")
+    assert got == [
+        ("DET001", 14),
+        ("DET001", 18),
+        ("DET002", 22),
+        ("DET002", 26),
+        ("DET003", 30),
+        ("DET003", 34),
+        ("DET003", 38),
+        ("DET004", 43),
+        ("DET004", 49),
+    ]
+
+
+def test_determinism_good_fixture_is_clean():
+    assert findings_for("det_good.py") == []
+
+
+def test_determinism_rules_scoped_to_sim_packages(tmp_path):
+    # Same code, no `module=` pragma putting it in a sim package: silent.
+    source = (fixture("det_bad.py"))
+    text = open(source).read().replace(
+        "# repro-lint: module=repro.net.fixture_bad", "")
+    unscoped = tmp_path / "unscoped.py"
+    unscoped.write_text(text)
+    report = lint_paths([str(unscoped)])
+    assert [f for f in report.new if f.rule.startswith("DET")] == []
+
+
+def test_payload_bad_fixture():
+    got = findings_for("pay_bad.py")
+    assert got == [
+        ("PAY001", 10),
+        ("PAY001", 15),
+        ("PAY002", 17),
+        ("PAY002", 19),
+        ("PAY003", 20),
+    ]
+
+
+def test_payload_good_fixture_is_clean():
+    # Thread pools have no pickle boundary; module-level callables and
+    # plain data are fine.
+    assert findings_for("pay_good.py") == []
+
+
+def test_registry_bad_fixture():
+    got = findings_for("reg_bad.py")
+    assert got == [
+        ("REG001", 13),
+        ("REG001", 18),
+        ("REG003", 21),
+        ("REG003", 28),
+        ("REG002", 32),
+        ("REG002", 37),
+    ]
+
+
+def test_registry_good_fixture_is_clean():
+    assert findings_for("reg_good.py") == []
+
+
+def test_registry_contract_resolves_cross_module(tmp_path):
+    # The fn lives in one module, the spec in another; REG001 must
+    # resolve the signature through the import.
+    (tmp_path / "exps.py").write_text(
+        "def my_exp(alpha: int = 1):\n    return alpha\n")
+    (tmp_path / "specs.py").write_text(
+        "from exps import my_exp\n"
+        "from repro.eval.registry import ExperimentSpec\n"
+        "SPEC = ExperimentSpec('x', my_exp, print,\n"
+        "                      defaults=(('nope', 2),))\n")
+    report = lint_paths([str(tmp_path)])
+    assert [(f.rule, os.path.basename(f.path)) for f in report.new] == [
+        ("REG001", "specs.py")]
+    assert "my_exp" in report.new[0].message
+
+
+def test_suppression_with_reason_suppresses():
+    report = lint_paths([fixture("suppressed.py")])
+    suppressed_lines = {f.line for f, _ in report.suppressed}
+    assert suppressed_lines == {9, 14}
+    reasons = {reason for _, reason in report.suppressed}
+    assert "fixture exercises suppression" in reasons
+
+
+def test_suppression_without_reason_is_lnt001_and_does_not_suppress():
+    report = lint_paths([fixture("suppressed.py")])
+    new = [(f.rule, f.line) for f in report.new]
+    # The reasonless pragma: DET001 still fires and LNT001 is added.
+    assert ("DET001", 19) in new
+    assert ("LNT001", 19) in new
+    # A pragma for a different rule does not suppress DET001.
+    assert ("DET001", 24) in new
+
+
+def test_rule_filter_restricts_to_requested_rules():
+    report = lint_paths([fixture("det_bad.py")], rules=["DET001"])
+    assert {f.rule for f in report.new} == {"DET001"}
+
+
+def test_unknown_rule_filter_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_paths([fixture("det_bad.py")], rules=["NOPE99"])
+
+
+def test_syntax_error_reported_as_lnt002(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def nope(:\n")
+    report = lint_paths([str(broken)])
+    assert [f.rule for f in report.new] == ["LNT002"]
+    assert "does not parse" in report.new[0].message

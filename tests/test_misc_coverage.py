@@ -2,19 +2,15 @@
 
 import pytest
 
-from repro.core.chi import ChiConfig, ProtocolChi
+from repro.core.chi import ChiConfig
 from repro.core.detector import DetectorState, Suspicion
-from repro.core.summaries import PathOracle
 from repro.crypto.keys import KeyInfrastructure
 from repro.dist.broadcast import robust_flood
-from repro.dist.sync import RoundSchedule
 from repro.eval.scenarios import RepeatedConnector, build_droptail_scenario
-from repro.net.packet import Packet
 from repro.net.router import Network
 from repro.net.routing import compute_all_paths, install_static_routes
 from repro.net.tcp import TCPFlow
 from repro.net.topology import MBPS, abilene, chain
-from repro.net.traffic import CBRSource
 
 
 class TestRepeatedConnector:

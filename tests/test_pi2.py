@@ -1,10 +1,9 @@
 """Integration tests for Protocol Π2 (Fig 5.1)."""
 
-import pytest
 
 from repro.core.detector import accuracy_report, completeness_report
 from repro.core.pi2 import Pi2Config, ProtocolPi2
-from repro.core.segments import all_routing_paths, monitored_segments_pi2
+from repro.core.segments import monitored_segments_pi2
 from repro.core.summaries import PathOracle, SegmentMonitor, SummaryPolicy
 from repro.crypto.keys import KeyInfrastructure
 from repro.dist.sync import RoundSchedule

@@ -1,10 +1,9 @@
 """Integration tests for Protocol Πk+2 (Fig 5.3)."""
 
-import pytest
 
 from repro.core.detector import accuracy_report, completeness_report
 from repro.core.pik2 import PiK2Config, ProtocolPiK2
-from repro.core.segments import all_routing_paths, monitored_segments_pik2
+from repro.core.segments import monitored_segments_pik2
 from repro.core.summaries import PathOracle, SegmentMonitor, SummaryPolicy
 from repro.crypto.fingerprint import FingerprintSampler
 from repro.crypto.keys import KeyInfrastructure

@@ -1,8 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import random
 
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -11,7 +9,7 @@ from repro.core.validation import reorder_metric
 from repro.crypto.fingerprint import fingerprint
 from repro.crypto.hashchain import HashChain
 from repro.crypto.keys import KeyInfrastructure
-from repro.crypto.signatures import Signed, canonical_bytes
+from repro.crypto.signatures import Signed
 from repro.dist.consensus import Equivocator, Silent, SignedConsensus
 from repro.dist.reconcile import (
     P,

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.replica import ReplicaDetector
 from repro.net.adversary import (
@@ -10,7 +9,6 @@ from repro.net.adversary import (
     DropFlowAttack,
     FabricateAttack,
     ModifyAttack,
-    ReorderAttack,
 )
 from repro.net.queues import DropTailQueue, REDParams, REDQueue
 from repro.net.router import Network

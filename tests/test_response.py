@@ -1,6 +1,5 @@
 """Tests for the §2.4.3 response-strategy comparison."""
 
-import pytest
 
 from repro.eval.experiments import response_strategy_ablation
 

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet
 from repro.net.queues import DropReason
-from repro.net.router import ForwardAction, MonitorTap, Network
+from repro.net.router import MonitorTap, Network
 from repro.net.routing import install_static_routes
-from repro.net.topology import MBPS, Topology, chain, diamond
+from repro.net.topology import MBPS, chain, diamond
 
 
 class RecordingTap(MonitorTap):

@@ -6,11 +6,10 @@ from repro.net.packet import Packet
 from repro.net.router import Network
 from repro.net.routing import (
     LinkStateRouting,
-    compute_all_paths,
     install_static_routes,
     shortest_path_avoiding,
 )
-from repro.net.topology import MBPS, Topology, abilene, chain, diamond
+from repro.net.topology import Topology, abilene, chain, diamond
 
 
 class TestShortestPathAvoiding:

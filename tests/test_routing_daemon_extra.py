@@ -1,6 +1,5 @@
 """Deeper control-plane behaviours: timers, bogus alerts, dedupe."""
 
-import pytest
 
 from repro.net.packet import Packet
 from repro.net.router import Network

@@ -7,7 +7,6 @@ from repro.core.summaries import (
     SegmentMonitor,
     SummaryBuilder,
     SummaryPolicy,
-    TrafficSummary,
 )
 from repro.crypto.fingerprint import FingerprintSampler
 from repro.dist.sync import ClockModel, RoundSchedule
