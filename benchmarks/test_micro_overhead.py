@@ -54,6 +54,22 @@ def test_polynomial_reconciliation(benchmark):
     assert local_only == {1, 2, 3}
 
 
+def test_disabled_recorder_guard(benchmark):
+    """repro.obs: the attribute-read + branch every instrumented seam
+    pays while tracing is off.  Must stay in the nanoseconds — the
+    observability subsystem's contract is that it is free when unused.
+    """
+    from repro.obs.record import recorder
+
+    rec = recorder()
+    assert not rec.active
+
+    def guard():
+        return rec.active
+
+    assert benchmark(guard) is False
+
+
 def test_bloom_filter_difference(benchmark):
     """The cheaper, approximate alternative of §2.4.1."""
     def build_and_estimate():

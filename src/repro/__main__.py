@@ -37,6 +37,7 @@ from typing import List
 def main(argv: List[str]) -> int:
     from repro.analysis.cli import add_lint_parser, cmd_lint
     from repro.eval import registry
+    from repro.obs.cli import add_obs_parser
     from repro.sweep.cli import (
         add_merge_parser,
         add_sweep_parser,
@@ -58,9 +59,18 @@ def main(argv: List[str]) -> int:
                      help="experiment names (or 'all')")
     run.add_argument("--seed", type=int, default=None,
                      help="random seed for experiments that accept one")
+    run.add_argument("--trace", default=None, metavar="DIR",
+                     help="record a JSONL trace per experiment into DIR "
+                          "(sim-domain events + metrics)")
+    run.add_argument("--profile", action="store_true",
+                     help="profile each run with cProfile and write "
+                          "profile-<name>.json")
+    run.add_argument("--profile-out", default=".", metavar="DIR",
+                     help="directory for profile artifacts (default: .)")
     add_sweep_parser(sub)
     add_merge_parser(sub)
     add_lint_parser(sub)
+    add_obs_parser(sub)
     args = parser.parse_args(argv)
 
     if args.command == "sweep":
@@ -69,6 +79,8 @@ def main(argv: List[str]) -> int:
         return cmd_merge(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "obs":
+        return args.func(args)
 
     if args.command == "list":
         width = max(len(name) for name in registry.names())
@@ -97,8 +109,38 @@ def main(argv: List[str]) -> int:
                 print(f"note: {name} takes no seed parameter; "
                       f"--seed ignored", file=sys.stderr)
         print(f"=== {name} ===")
-        for line in spec.report(spec.run(**params)):
+        rec = None
+        if args.trace:
+            import os
+
+            from repro.obs.record import recorder
+            from repro.obs.sinks import JsonlSink
+
+            rec = recorder()
+            rec.enable(JsonlSink(os.path.join(args.trace,
+                                              f"{name}.jsonl")))
+        try:
+            if args.profile:
+                import os
+
+                from repro.obs.profile import (format_profile_lines,
+                                               profile_call,
+                                               write_profile)
+
+                result, stats = profile_call(spec.run, **params)
+                profile_path = write_profile(stats, os.path.join(
+                    args.profile_out, f"profile-{name}.json"))
+            else:
+                result = spec.run(**params)
+        finally:
+            if rec is not None:
+                rec.disable()
+        for line in spec.report(result):
             print(line)
+        if args.profile:
+            for line in format_profile_lines(stats):
+                print(line)
+            print(f"wrote {profile_path}")
         print()
     return 0
 

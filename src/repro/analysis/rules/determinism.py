@@ -4,7 +4,8 @@ The traffic-validation detectors and the sweep engine's shard-merge
 identity both assume that a run is a pure function of its
 :class:`~repro.sweep.grid.RunSpec` — same seed, same bytes.  These rules
 fence off the three classic leaks inside the simulation packages
-(``repro.net``, ``repro.core``, ``repro.dist``, ``repro.crypto``):
+(``repro.net``, ``repro.core``, ``repro.dist``, ``repro.crypto``,
+``repro.obs``):
 
 * **DET001** — the process-global ``random`` generator (``random.random()``,
   ``random.choice`` ...).  Seeded ``random.Random(seed)`` instances are
@@ -16,7 +17,10 @@ fence off the three classic leaks inside the simulation packages
 * **DET003** — wall-clock and OS entropy reads (``time.time``,
   ``datetime.now``, ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets``)
   in simulation code.  Key generation (``repro.crypto.keys``) is exempt
-  from the entropy half by design.
+  from the entropy half by design; the sweep-telemetry module
+  (``repro.obs.telemetry``) is exempt from the wall-clock half — it is
+  the one sanctioned wall-domain module in the observability subsystem,
+  and its output lives in the manifest, never in sim artifacts.
 * **DET004** — iterating a ``set``/``frozenset`` whose order reaches
   downstream state.  String hashing is salted per process
   (PYTHONHASHSEED), so set order differs across the very worker
@@ -55,9 +59,14 @@ rule("DET004",
      "scheduling, serialization, or hashing.")
 
 #: Packages the determinism rules police.
-SIM_PACKAGES = ("repro.net", "repro.core", "repro.dist", "repro.crypto")
+SIM_PACKAGES = ("repro.net", "repro.core", "repro.dist", "repro.crypto",
+                "repro.obs")
 #: Modules allowed to read OS entropy (key generation by design).
 ENTROPY_EXEMPT = ("repro.crypto.keys",)
+#: Modules allowed to read the wall clock: sweep telemetry is the one
+#: wall-domain module in repro.obs; everything else in the package is
+#: sim-domain and must timestamp with Simulator virtual time.
+WALLCLOCK_EXEMPT = ("repro.obs.telemetry",)
 
 #: random-module attributes that are *not* global-state draws.
 _RANDOM_SAFE = {"Random", "SystemRandom", "__name__"}
@@ -165,10 +174,11 @@ def is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
 
 class _DeterminismVisitor(ast.NodeVisitor):
     def __init__(self, info: ModuleInfo, set_names: Set[str],
-                 entropy_ok: bool) -> None:
+                 entropy_ok: bool, wallclock_ok: bool = False) -> None:
         self.info = info
         self.set_names = set_names
         self.entropy_ok = entropy_ok
+        self.wallclock_ok = wallclock_ok
         self.findings: List[Finding] = []
         #: comprehension nodes fed straight into an order-insensitive
         #: reducer (sum/min/max/any/all/sorted/...): exempt from DET004.
@@ -235,18 +245,19 @@ class _DeterminismVisitor(ast.NodeVisitor):
                            f"use np.random.default_rng(seed)")
 
         # DET003: wall clock / entropy.
-        if head == "time" and tail in _WALLCLOCK_TIME \
-                and "time" in self.info.module_aliases:
-            self._emit("DET003", node,
-                       f"'{dotted}()' reads the wall clock inside "
-                       f"simulation code; derive times from the "
-                       f"simulated clock or the seed")
-        if len(parts) >= 2 and parts[-1] in _WALLCLOCK_DATETIME \
-                and (parts[0] in self.datetime_aliases
-                     or (parts[0] == "datetime" and len(parts) == 3)):
-            self._emit("DET003", node,
-                       f"'{dotted}()' reads the wall clock inside "
-                       f"simulation code")
+        if not self.wallclock_ok:
+            if head == "time" and tail in _WALLCLOCK_TIME \
+                    and "time" in self.info.module_aliases:
+                self._emit("DET003", node,
+                           f"'{dotted}()' reads the wall clock inside "
+                           f"simulation code; derive times from the "
+                           f"simulated clock or the seed")
+            if len(parts) >= 2 and parts[-1] in _WALLCLOCK_DATETIME \
+                    and (parts[0] in self.datetime_aliases
+                         or (parts[0] == "datetime" and len(parts) == 3)):
+                self._emit("DET003", node,
+                           f"'{dotted}()' reads the wall clock inside "
+                           f"simulation code")
         if not self.entropy_ok:
             if dotted.endswith("os.urandom") or dotted == "os.urandom":
                 self._emit("DET003", node,
@@ -322,6 +333,9 @@ def check_determinism(info: ModuleInfo,
     tracker.visit(info.tree)
     entropy_ok = any(info.module == m or info.module.startswith(m + ".")
                      for m in ENTROPY_EXEMPT)
-    visitor = _DeterminismVisitor(info, tracker.set_names, entropy_ok)
+    wallclock_ok = any(info.module == m or info.module.startswith(m + ".")
+                       for m in WALLCLOCK_EXEMPT)
+    visitor = _DeterminismVisitor(info, tracker.set_names, entropy_ok,
+                                  wallclock_ok)
     visitor.visit(info.tree)
     return visitor.findings

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.obs.record import recorder
+
 PathSegment = Tuple[str, ...]
 Interval = Tuple[float, float]
 
@@ -54,6 +56,15 @@ class DetectorState:
             return False
         self._seen.add(key)
         self.suspicions.append(suspicion)
+        rec = recorder()
+        if rec.active:
+            rec.metrics.counter("repro.core.detector.suspicions").inc()
+            rec.event("detector.suspect", suspicion.interval[1],
+                      by=suspicion.suspected_by,
+                      segment=list(suspicion.segment),
+                      interval=list(suspicion.interval),
+                      reason=suspicion.reason,
+                      confidence=suspicion.confidence)
         return True
 
     def suspects(self, router: str) -> bool:
@@ -117,6 +128,12 @@ def accuracy_report(
                 good += 1
             else:
                 false_positives.append(suspicion)
+    rec = recorder()
+    if rec.active:
+        rec.metrics.counter("repro.core.detector.scored").inc(total)
+        rec.metrics.counter("repro.core.detector.accurate").inc(good)
+        rec.metrics.counter(
+            "repro.core.detector.false_positives").inc(len(false_positives))
     return AccuracyReport(
         total_suspicions=total,
         accurate_suspicions=good,
@@ -159,6 +176,12 @@ def completeness_report(
             report.detected.add(bad)
         else:
             report.missed.add(bad)
+    rec = recorder()
+    if rec.active:
+        rec.metrics.counter(
+            "repro.core.detector.detected").inc(len(report.detected))
+        rec.metrics.counter(
+            "repro.core.detector.missed").inc(len(report.missed))
     return report
 
 

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.crypto.keys import KeyInfrastructure
 from repro.crypto.signatures import Signed
+from repro.obs.record import recorder
 
 
 @dataclass(frozen=True)
@@ -216,4 +217,20 @@ class SignedConsensus:
                     result.values[origin] = None
                     result.silent.add(origin)
             results[member] = result
+        rec = recorder()
+        if rec.active:
+            metrics = rec.metrics
+            metrics.counter("repro.dist.consensus.runs").inc()
+            metrics.counter("repro.dist.consensus.rounds").inc(self.f + 1)
+            metrics.histogram(
+                "repro.dist.consensus.members").observe(len(self.members))
+            equivocators: Set[str] = set()
+            silent: Set[str] = set()
+            for member in sorted(results):
+                equivocators |= results[member].equivocators
+                silent |= results[member].silent
+            metrics.counter(
+                "repro.dist.consensus.equivocators").inc(len(equivocators))
+            metrics.counter(
+                "repro.dist.consensus.silent").inc(len(silent))
         return results

@@ -142,15 +142,24 @@ def _split_roots(poly: List[int], rng: random.Random) -> List[int]:
 # -- characteristic polynomial reconciliation --------------------------------
 
 
+# Sample points live in a reserved band at the top of the field that
+# element images can never reach; if the two overlapped, a fingerprint
+# whose image equals a sample point would zero χ_S there and sink the
+# whole reconciliation.
+_SAMPLE_BAND = 1 << 16
+
+
 def _to_field(value: int) -> int:
-    """Map a fingerprint into GF(P)∖{0} (sample points live elsewhere)."""
-    mapped = (value % (P - 1)) + 1
+    """Map a fingerprint into [1, P - 1 - _SAMPLE_BAND]."""
+    mapped = (value % (P - 1 - _SAMPLE_BAND)) + 1
     return mapped
 
 
 def _sample_points(count: int) -> List[int]:
-    # Fixed agreed points; 0 is never an element image (elements are >= 1).
-    return [(P - 1 - i) % P for i in range(count)]
+    # Fixed agreed points, descending from P - 1 through the reserved band.
+    if count > _SAMPLE_BAND:
+        raise ValueError("difference bound exceeds the reserved sample band")
+    return [P - 1 - i for i in range(count)]
 
 
 @dataclass

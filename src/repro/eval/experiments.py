@@ -456,6 +456,23 @@ def fig6_6_attack1(seed: int = 0, fraction: float = 0.2, tau: float = 2.0,
     )
 
 
+def chi_detection_bench(seed: int = 0, fraction: float = 0.2,
+                        tau: float = 2.0,
+                        n_sources: int = 2) -> ScenarioResult:
+    """A small, fast χ detection scenario for benchmarks and CI smoke.
+
+    The Fig 6.6 attack on a reduced source count (~2 s per run), sized
+    so a ``repro sweep chi --seeds 3`` with tracing and profiling fits
+    in a CI smoke job while still exercising the full attack →
+    monitor → detect pipeline.
+    """
+    return _run_droptail(
+        "chi-bench",
+        lambda s: DropFlowAttack(["tcp1"], fraction=fraction, seed=seed + 1),
+        seed=seed, tau=tau, n_sources=n_sources,
+    )
+
+
 def fig6_7_attack2(seed: int = 0, fill_threshold: float = 0.90,
                    tau: float = 2.0, n_sources: int = 3) -> ScenarioResult:
     """Fig 6.7: drop the selected flow only when the queue is 90% full."""

@@ -315,6 +315,9 @@ for _spec in (
                    description="Fig 6.5: droptail, pure congestion"),
     ExperimentSpec("fig6_6", ex.fig6_6_attack1, report_scenario,
                    description="Fig 6.6: drop 20% of the selected flow"),
+    ExperimentSpec("chi", ex.chi_detection_bench, report_scenario,
+                   description="bench: small, fast χ detection scenario "
+                               "(CI smoke / profiling)"),
     ExperimentSpec("fig6_7", ex.fig6_7_attack2, report_scenario,
                    description="Fig 6.7: drop selected flow at queue 90%"),
     ExperimentSpec("fig6_8", ex.fig6_8_attack3, report_scenario,

@@ -17,6 +17,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs.record import recorder
+
 
 @dataclass(order=True)
 class Event:
@@ -105,6 +107,11 @@ class Simulator:
             self._running = False
         if until is not None and until > self.now:
             self.now = until
+        rec = recorder()
+        if rec.active:
+            rec.metrics.counter("repro.net.sim.runs").inc()
+            rec.metrics.counter("repro.net.sim.events").inc(dispatched)
+            rec.metrics.gauge("repro.net.sim.horizon").set(self.now)
         return dispatched
 
     def pending(self) -> int:

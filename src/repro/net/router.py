@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.events import Simulator
 from repro.net.packet import Packet
+from repro.obs.record import recorder
 from repro.net.queues import DropReason, DropTailQueue
 from repro.net.topology import Link, Topology
 
@@ -310,6 +311,12 @@ class Router:
     def inject_fabricated(self, packet: Packet, out_nbr: str) -> None:
         """Adversary-only: push a fabricated packet into an output queue."""
         packet.fabricated_by = self.name
+        rec = recorder()
+        if rec.active:
+            rec.metrics.counter("repro.net.pkt.fabricated").inc()
+            rec.event("net.fabricate", self.network.sim.now,
+                      router=self.name, out_nbr=out_nbr,
+                      flow=packet.flow_id, src=packet.src, dst=packet.dst)
         iface = self.interfaces.get(out_nbr)
         if iface is not None:
             iface.enqueue(packet, self.network.sim.now)
@@ -330,6 +337,12 @@ class Network:
         self.topology = topology
         self.sim = sim or Simulator()
         self.taps: List[MonitorTap] = []
+        rec = recorder()
+        if rec.active:
+            # Duck-typed MonitorTap; attach-only, so a disabled recorder
+            # adds nothing to the per-packet tap loops.
+            from repro.obs.trace import TraceTap
+            self.taps.append(TraceTap(rec))
         self.routers: Dict[str, Router] = {}
         self.control_delay = control_delay
         self.seed = seed

@@ -1,0 +1,34 @@
+"""repro.obs: the observability subsystem.
+
+Two strictly separated time domains:
+
+* **sim domain** — :mod:`~repro.obs.record` (global :class:`Recorder`),
+  :mod:`~repro.obs.metrics`, :mod:`~repro.obs.trace`,
+  :mod:`~repro.obs.sinks`.  Trace timestamps are Simulator virtual
+  time only; output is deterministic and byte-stable across runs.
+* **wall domain** — :mod:`~repro.obs.telemetry` (sweep wall times,
+  cache/retry/worker stats) and :mod:`~repro.obs.profile` (cProfile
+  wrapper).  Wall readings never influence simulated behaviour.
+
+The global recorder is disabled by default; every instrumentation site
+guards on ``recorder().active`` so the subsystem costs one attribute
+read + branch when off.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               merge_snapshots)
+from repro.obs.record import Recorder, recorder
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "Recorder",
+    "merge_snapshots",
+    "recorder",
+]

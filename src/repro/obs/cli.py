@@ -1,0 +1,215 @@
+"""``python -m repro obs``: inspect and aggregate trace artifacts.
+
+Subcommands:
+
+``obs summarize PATH...``
+    Aggregate one or more trace files / sweep directories: per-event
+    counts, merged metrics, and the sweep manifest's telemetry section
+    when present.  ``--format json`` emits the aggregate as JSON.
+
+``obs bench SWEEP_DIR --out BENCH_obs.json``
+    Distill a traced sweep into the headline benchmark numbers the
+    ROADMAP tracks: wall time, simulator events per second, cache hit
+    rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import merge_snapshots
+
+#: Subdirectory of a sweep output dir where per-run traces land.
+TRACE_DIRNAME = "traces"
+
+
+def trace_files(path: str) -> List[str]:
+    """Trace files under *path* (a file, sweep dir, or traces dir)."""
+    if os.path.isfile(path):
+        return [path]
+    candidates = []
+    if os.path.isdir(path):
+        candidates = sorted(glob.glob(os.path.join(path, "*.jsonl")))
+        if not candidates:
+            # A sweep dir: its own traces/ plus any per-shard traces a
+            # dispatched sweep left under shards/shard-*/traces/.
+            candidates = sorted(
+                glob.glob(os.path.join(path, TRACE_DIRNAME, "*.jsonl"))
+                + glob.glob(os.path.join(path, "shards", "*",
+                                         TRACE_DIRNAME, "*.jsonl")))
+    return candidates
+
+
+def read_trace(path: str) -> Tuple[Dict[str, int], List[dict], int]:
+    """One trace file -> (event name counts, metric snapshots, lines)."""
+    counts: Dict[str, int] = {}
+    snapshots: List[dict] = []
+    lines = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            lines += 1
+            record = json.loads(raw)
+            name = record.get("event", "?")
+            if name == "obs.metrics":
+                snapshots.append(record.get("metrics") or {})
+                continue
+            counts[name] = counts.get(name, 0) + 1
+    return counts, snapshots, lines
+
+
+def load_manifest_telemetry(path: str) -> Optional[dict]:
+    """The telemetry section of *path*'s sweep.json, if either exists."""
+    manifest_path = (path if os.path.isfile(path)
+                     else os.path.join(path, "sweep.json"))
+    if not os.path.exists(manifest_path) \
+            or not manifest_path.endswith(".json"):
+        return None
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    return manifest.get("telemetry")
+
+
+def summarize_paths(paths: List[str]) -> dict:
+    """Aggregate traces (and any manifest telemetry) across *paths*."""
+    files: List[str] = []
+    for path in paths:
+        files.extend(trace_files(path))
+    events: Dict[str, int] = {}
+    snapshots: List[dict] = []
+    total_lines = 0
+    for path in files:
+        counts, file_snapshots, lines = read_trace(path)
+        total_lines += lines
+        snapshots.extend(file_snapshots)
+        for name, count in counts.items():
+            events[name] = events.get(name, 0) + count
+    telemetry = None
+    for path in paths:
+        telemetry = load_manifest_telemetry(path)
+        if telemetry is not None:
+            break
+    return {
+        "traces": len(files),
+        "records": total_lines,
+        "events": {name: events[name] for name in sorted(events)},
+        "metrics": merge_snapshots(snapshots),
+        "telemetry": telemetry,
+    }
+
+
+def format_summary(summary: dict) -> List[str]:
+    lines = [f"traces: {summary['traces']} file(s), "
+             f"{summary['records']} record(s)"]
+    if summary["events"]:
+        lines.append("events:")
+        for name in sorted(summary["events"]):
+            lines.append(f"  {name}: {summary['events'][name]}")
+    if summary["metrics"]:
+        lines.append("metrics:")
+        for name in sorted(summary["metrics"]):
+            row = summary["metrics"][name]
+            kind = row.get("kind")
+            if kind == "counter":
+                detail = f"{row['value']}"
+            elif kind == "gauge":
+                detail = (f"{row['value']} (min {row['min']}, "
+                          f"max {row['max']})")
+            else:
+                detail = (f"count {row['count']}, mean {row['mean']:.3f}, "
+                          f"max {row['max']}")
+            lines.append(f"  {name} [{kind}]: {detail}")
+    telemetry = summary.get("telemetry")
+    if telemetry:
+        runs = telemetry.get("runs", {})
+        cache = telemetry.get("cache", {})
+        lines.append(
+            f"telemetry: wall {telemetry.get('wall_s', 0.0):.2f} s, "
+            f"runs {runs.get('ok', 0)}/{runs.get('total', 0)} ok "
+            f"({runs.get('cached', 0)} cached), cache hit rate "
+            f"{cache.get('hit_rate', 0.0):.0%}")
+        workers = telemetry.get("workers", {})
+        lines.append(
+            f"workers: jobs={workers.get('jobs', 1)}, utilization "
+            f"{workers.get('utilization', 0.0):.0%}")
+    return lines
+
+
+def build_bench(sweep_dir: str) -> dict:
+    """Headline benchmark numbers for a traced sweep directory."""
+    summary = summarize_paths([sweep_dir])
+    telemetry = summary.get("telemetry") or {}
+    wall_s = float(telemetry.get("wall_s", 0.0))
+    if wall_s <= 0.0:
+        manifest_path = os.path.join(sweep_dir, "sweep.json")
+        if os.path.exists(manifest_path):
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                wall_s = float(json.load(fh).get("elapsed_s", 0.0))
+    sim_events = 0
+    events_metric = summary["metrics"].get("repro.net.sim.events")
+    if events_metric:
+        sim_events = int(events_metric.get("value", 0))
+    cache = telemetry.get("cache", {})
+    return {
+        "schema": "repro.obs.bench/v1",
+        "sweep_dir": os.path.abspath(sweep_dir),
+        "wall_s": wall_s,
+        "sim_events": sim_events,
+        "events_per_s": sim_events / wall_s if wall_s > 0 else 0.0,
+        "cache_hit_rate": float(cache.get("hit_rate", 0.0)),
+        "runs": telemetry.get("runs"),
+    }
+
+
+# -- argparse wiring --------------------------------------------------------
+
+def add_obs_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "obs", help="inspect and aggregate observability artifacts")
+    obs_sub = parser.add_subparsers(dest="obs_command", required=True)
+
+    summarize = obs_sub.add_parser(
+        "summarize", help="aggregate trace files / sweep directories")
+    summarize.add_argument("paths", nargs="+", metavar="PATH",
+                           help="trace .jsonl file(s) or sweep dir(s)")
+    summarize.add_argument("--format", choices=("text", "json"),
+                           default="text")
+    summarize.set_defaults(func=cmd_summarize)
+
+    bench = obs_sub.add_parser(
+        "bench", help="emit headline bench numbers for a traced sweep")
+    bench.add_argument("sweep_dir", metavar="SWEEP_DIR")
+    bench.add_argument("--out", default="BENCH_obs.json",
+                       help="output JSON path (default: %(default)s)")
+    bench.set_defaults(func=cmd_bench)
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    summary = summarize_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        for line in format_summary(summary):
+            print(line)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    bench = build_bench(args.sweep_dir)
+    parent = os.path.dirname(args.out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wall: {bench['wall_s']:.2f} s, sim events: "
+          f"{bench['sim_events']} ({bench['events_per_s']:.0f}/s), "
+          f"cache hit rate: {bench['cache_hit_rate']:.0%}")
+    print(f"wrote {args.out}")
+    return 0

@@ -1,0 +1,196 @@
+"""Sim-domain metrics registry: counters, gauges, histograms.
+
+Metrics are *deterministic aggregates of simulation events*: they carry
+no timestamps of their own and must only be fed values derived from
+simulated state (event counts, queue occupancies, virtual-time
+horizons).  Anything wall-clock-shaped belongs in
+:mod:`repro.obs.telemetry`, the one wall-domain module.
+
+Names follow the ``repro.<pkg>.<name>`` convention — e.g.
+``repro.net.pkt.dropped``, ``repro.core.detector.suspicions`` — and are
+validated at creation time so trace consumers can rely on the prefix to
+group metrics by subsystem.  Snapshots are plain dicts in sorted name
+order, so two runs that saw the same events serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Union
+
+#: ``repro.<pkg>.<name>`` with at least one dotted segment after the
+#: package, all lowercase identifiers.
+_NAME_RE = re.compile(r"^repro\.[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+Number = Union[int, float]
+
+
+def validate_metric_name(name: str) -> str:
+    """Enforce the ``repro.<pkg>.<name>`` naming convention."""
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"bad metric name {name!r}; expected "
+            f"'repro.<pkg>.<name>' (lowercase identifiers, e.g. "
+            f"'repro.net.pkt.dropped')")
+    return name
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A last-written value (plus its observed extremes)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "min", "max", "_written")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.min: Number = 0
+        self.max: Number = 0
+        self._written = False
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if not self._written:
+            self.min = self.max = value
+            self._written = True
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value,
+                "min": self.min, "max": self.max}
+
+
+class Histogram:
+    """Order-insensitive summary of observed values.
+
+    Keeps count/total/min/max (mean is derived), which merge cleanly
+    across runs and never depend on observation order — the histogram
+    of a sharded sweep equals the histogram of the unsharded one.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "count": self.count,
+                "total": self.total, "min": self.min, "max": self.max,
+                "mean": self.mean}
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshot in sorted order."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(validate_metric_name(name))
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{metric.kind}, not {factory.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Sorted, JSON-ready view of every metric's current state."""
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}
+
+
+def merge_snapshots(snapshots: List[Dict[str, dict]]) -> Dict[str, dict]:
+    """Combine metric snapshots from several runs/trace files.
+
+    Counters and histogram counts/totals add; gauges keep the widest
+    min/max and the last value seen; mixed-kind names raise.
+    """
+    merged: Dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, row in snapshot.items():
+            if name not in merged:
+                merged[name] = dict(row)
+                continue
+            into = merged[name]
+            if into.get("kind") != row.get("kind"):
+                raise ValueError(
+                    f"metric {name!r} has conflicting kinds: "
+                    f"{into.get('kind')} vs {row.get('kind')}")
+            kind = row.get("kind")
+            if kind == "counter":
+                into["value"] += row["value"]
+            elif kind == "gauge":
+                into["value"] = row["value"]
+                into["min"] = min(into["min"], row["min"])
+                into["max"] = max(into["max"], row["max"])
+            elif kind == "histogram":
+                into["count"] += row["count"]
+                into["total"] += row["total"]
+                for key, pick in (("min", min), ("max", max)):
+                    if row[key] is not None:
+                        into[key] = (row[key] if into[key] is None
+                                     else pick(into[key], row[key]))
+                into["mean"] = (into["total"] / into["count"]
+                                if into["count"] else 0.0)
+    return {name: merged[name] for name in sorted(merged)}

@@ -1,0 +1,78 @@
+"""cProfile wrapper emitting top-N cumulative stats as JSON.
+
+``--profile`` on ``repro run`` / ``repro sweep`` wraps the run in
+:func:`profile_call` and writes the result with :func:`write_profile`.
+Profiling is wall-domain by nature; it never alters what the profiled
+call computes, only observes where its time went.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import pstats
+from typing import Any, Callable, Tuple
+
+#: Schema tag for profile artifacts.
+PROFILE_SCHEMA = "repro.obs.profile/v1"
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, top: int = 25,
+                 **kwargs: Any) -> Tuple[Any, dict]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, stats)`` where *stats* is a JSON-ready dict of
+    the ``top`` functions by cumulative time.  Exceptions propagate
+    unprofiled — a crashed run produces no profile artifact.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    return result, stats_to_dict(pstats.Stats(profiler), top=top)
+
+
+def stats_to_dict(stats: pstats.Stats, *, top: int = 25) -> dict:
+    """Top-N rows of a pstats table, sorted by cumulative time."""
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        cc, ncalls, tottime, cumtime, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        rows.append({
+            "function": name,
+            "file": filename,
+            "line": lineno,
+            "ncalls": ncalls,
+            "primitive_calls": cc,
+            "tottime_s": tottime,
+            "cumtime_s": cumtime,
+        })
+    return {
+        "schema": PROFILE_SCHEMA,
+        "top": top,
+        "total_calls": getattr(stats, "total_calls", 0),
+        "total_time_s": getattr(stats, "total_tt", 0.0),
+        "rows": rows,
+    }
+
+
+def write_profile(stats: dict, path: str) -> str:
+    """Write a profile stats dict as a JSON artifact; returns *path*."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(stats, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_profile_lines(stats: dict, limit: int = 10) -> list:
+    """Human-readable headline lines for the CLI."""
+    lines = [f"profile: {stats['total_calls']} calls in "
+             f"{stats['total_time_s']:.3f} s (top {limit} by cumulative)"]
+    for row in stats["rows"][:limit]:
+        where = f"{os.path.basename(str(row['file']))}:{row['line']}"
+        lines.append(f"  {row['cumtime_s']:8.3f}s  {row['ncalls']:>8}x  "
+                     f"{row['function']} ({where})")
+    return lines

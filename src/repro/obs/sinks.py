@@ -1,0 +1,65 @@
+"""Trace sinks: where structured trace events go.
+
+A sink receives already-serializable dicts and owns their encoding.
+The JSONL encoding is canonical (sorted keys, compact separators) so
+two runs emitting the same events produce byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import List, Optional
+
+
+def encode_line(record: dict) -> str:
+    """Canonical single-line JSON encoding for one trace record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class NullSink:
+    """Discards everything.  The disabled-recorder default."""
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Keeps records in a list — for tests and `obs` aggregation."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+        self.closed = False
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlSink:
+    """Appends canonical JSONL lines to a file, one record per line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[io.TextIOWrapper] = open(
+            path, "w", encoding="utf-8", newline="\n")
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._fh.write(encode_line(record))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

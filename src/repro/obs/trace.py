@@ -1,0 +1,71 @@
+"""Sim-domain trace tap for the packet forwarding plane.
+
+:class:`TraceTap` implements the :class:`repro.net.router.MonitorTap`
+interface by duck typing — it deliberately imports nothing from
+``repro.net`` so the observability layer stays zero-dependency and the
+network layer can attach it with a local import without a cycle.
+
+Counting happens in metrics (cheap, order-insensitive); full trace
+*events* are emitted only for the rare, diagnosis-critical transitions:
+drops and fabricated-packet injections.  Per-packet receive/enqueue/
+transmit events would dominate trace volume without adding much beyond
+what the counters and the queue-occupancy histogram already capture.
+"""
+
+from __future__ import annotations
+
+from repro.obs.record import Recorder
+
+
+def _reason_token(reason) -> str:
+    """DropReason enum value → metric-name segment."""
+    value = getattr(reason, "value", reason)
+    return str(value)
+
+
+class TraceTap:
+    """Monitor tap that feeds the recorder's metrics and trace sink."""
+
+    def __init__(self, rec: Recorder) -> None:
+        self.rec = rec
+        metrics = rec.metrics
+        self._received = metrics.counter("repro.net.pkt.received")
+        self._enqueued = metrics.counter("repro.net.pkt.enqueued")
+        self._transmitted = metrics.counter("repro.net.pkt.transmitted")
+        self._delivered = metrics.counter("repro.net.pkt.delivered")
+        self._originated = metrics.counter("repro.net.pkt.originated")
+        self._fabricated = metrics.counter("repro.net.pkt.fabricated")
+        self._dropped = metrics.counter("repro.net.pkt.dropped")
+        self._occupancy = metrics.histogram("repro.net.queue.occupancy")
+
+    # -- MonitorTap interface (duck-typed) ----------------------------
+
+    def on_receive(self, router, from_nbr, packet, time) -> None:
+        self._received.inc()
+
+    def on_enqueue(self, router, out_nbr, packet, time, occupancy) -> None:
+        self._enqueued.inc()
+        self._occupancy.observe(occupancy)
+
+    def on_transmit(self, router, out_nbr, packet, time) -> None:
+        self._transmitted.inc()
+
+    def on_deliver(self, router, packet, time) -> None:
+        self._delivered.inc()
+
+    def on_originate(self, router, packet, time) -> None:
+        self._originated.inc()
+
+    def on_drop(self, router, out_nbr, packet, time, reason, drop_prob) -> None:
+        token = _reason_token(reason)
+        self._dropped.inc()
+        self.rec.metrics.counter(f"repro.net.drops.{token}").inc()
+        self.rec.event(
+            "net.drop", time,
+            router=router.name,
+            out_nbr=out_nbr,
+            reason=token,
+            flow=getattr(packet, "flow_id", None),
+            src=getattr(packet, "src", None),
+            dst=getattr(packet, "dst", None),
+        )

@@ -80,6 +80,9 @@ class ResultCache:
         self.version = version if version is not None else code_version()
         self.enabled = enabled
         self.max_bytes = max_bytes
+        #: Wall-domain effectiveness counters for sweep telemetry.
+        self.stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "stores": 0, "evictions": 0}
 
     def key(self, spec: RunSpec) -> str:
         payload = json.dumps({
@@ -104,17 +107,21 @@ class ResultCache:
             with open(path, "r") as handle:
                 entry = json.load(handle)
         except FileNotFoundError:
+            self.stats["misses"] += 1
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self._discard(path)
+            self.stats["misses"] += 1
             return None
         if (not isinstance(entry, dict)
                 or entry.get("schema") != ENTRY_SCHEMA
                 or entry.get("key") != self.key(spec)
                 or not isinstance(entry.get("record"), dict)):
             self._discard(path)
+            self.stats["misses"] += 1
             return None
         self._record_use(path)
+        self.stats["hits"] += 1
         return entry["record"]
 
     def store(self, spec: RunSpec, record: dict) -> None:
@@ -143,6 +150,7 @@ class ResultCache:
             self._discard(tmp_path)
             raise
         self._record_use(path)
+        self.stats["stores"] += 1
 
     # -- LRU index ---------------------------------------------------------
 
@@ -192,7 +200,7 @@ class ResultCache:
             index[os.path.relpath(path, self.root)] = {
                 "size": size, "used": time.time()}
             if self.max_bytes is not None:
-                self._evict_locked(index)
+                self.stats["evictions"] += len(self._evict_locked(index))
             self._write_index(index)
 
     def _entries_on_disk(self) -> Dict[str, os.stat_result]:
@@ -244,6 +252,7 @@ class ResultCache:
             index = self._read_index()
             evicted = self._evict_locked(index)
             self._write_index(index)
+        self.stats["evictions"] += len(evicted)
         return evicted
 
     def size_bytes(self) -> int:

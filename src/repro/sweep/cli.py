@@ -86,6 +86,18 @@ def add_sweep_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
 
+    obs = parser.add_argument_group(
+        "observability",
+        "record per-run traces and profile the sweep (see README, "
+        "'Observability')")
+    obs.add_argument("--trace", action="store_true",
+                     help="record a JSONL trace per executed run under "
+                          "<out>/traces (sim-domain events + metrics; "
+                          "results are byte-identical with or without)")
+    obs.add_argument("--profile", action="store_true",
+                     help="wrap the sweep in cProfile and write top-N "
+                          "cumulative stats to <out>/profile.json")
+
     dispatch = parser.add_argument_group(
         "shard dispatch",
         "split the sweep into shards, run them through an executor, and "
@@ -248,10 +260,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # Keep per-shard artifacts next to the merged ones for debugging.
         shard_dir=(os.path.join(out_dir, "shards")
                    if executor is not None else None),
+        trace_dir=(os.path.join(out_dir, "traces") if args.trace
+                   else None),
     )
     try:
-        sweep = run_sweep(args.experiment, config, executor=executor,
-                          progress=progress)
+        if args.profile:
+            from repro.obs.profile import (format_profile_lines,
+                                           profile_call, write_profile)
+
+            sweep, profile_stats = profile_call(
+                run_sweep, args.experiment, config, executor=executor,
+                progress=progress)
+        else:
+            sweep = run_sweep(args.experiment, config, executor=executor,
+                              progress=progress)
     except SweepError as error:
         print(f"sweep aborted: {error}", file=sys.stderr)
         return 1
@@ -260,6 +282,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(message, file=sys.stderr)
         return 2
     sweep.artifact_paths = write_sweep_artifacts(sweep, out_dir)
+    if args.profile:
+        profile_path = write_profile(
+            profile_stats, os.path.join(out_dir, "profile.json"))
+        sweep.artifact_paths["profile"] = profile_path
+        if not args.quiet:
+            for line in format_profile_lines(profile_stats):
+                print(line)
+        print(f"wrote {profile_path}")
     for line in sweep.summary_lines():
         print(line)
     headline = _headline_fields(sweep.aggregate)

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sweep.runner import SweepConfig
 
-#: Shard lifecycle states recorded in the ``repro.sweep/v3`` manifest.
+#: Shard lifecycle states recorded in the ``repro.sweep/v4`` manifest.
 SHARD_RUNNING = "running"
 SHARD_OK = "ok"
 SHARD_FAILED = "failed"  # deterministic failure; never re-dispatched
@@ -85,6 +85,10 @@ class ShardSpec:
                 argv += ["--timeout", str(retry.timeout_s)]
         if cfg.strict:
             argv += ["--strict"]
+        if cfg.trace_dir is not None:
+            # Bare flag: the child traces into its own <out>/traces, so
+            # remote shard traces come back with the artifact fetch.
+            argv += ["--trace"]
         if not cfg.use_cache:
             argv += ["--no-cache"]
         else:
@@ -120,6 +124,8 @@ class ShardHandle:
     error: Optional[str] = None
     #: Hosts that already lost this shard; resubmit avoids them.
     excluded_hosts: Tuple[str, ...] = ()
+    #: Wall-clock seconds of the successful attempt (telemetry).
+    wall_s: Optional[float] = None
     #: Executor-private worker state (process, thread, ...).
     worker: object = field(default=None, repr=False, compare=False)
 
@@ -128,13 +134,14 @@ class ShardHandle:
         return self.spec.index
 
     def describe(self) -> dict:
-        """The manifest row for this shard (``repro.sweep/v3``)."""
+        """The manifest row for this shard (``repro.sweep/v4``)."""
         return {
             "index": self.index,
             "status": self.status,
             "attempts": self.attempts,
             "host": self.host,
             "error": self.error,
+            "wall_s": self.wall_s,
         }
 
 

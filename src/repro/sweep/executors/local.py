@@ -18,6 +18,7 @@ fixed parameters no longer re-pickles them for every run.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -57,7 +58,8 @@ def _init_worker(context: dict) -> None:
 
 
 def _shared_context(specs: Sequence[RunSpec],
-                    timeout_s: Optional[float]) -> dict:
+                    timeout_s: Optional[float],
+                    trace_dir: Optional[str] = None) -> dict:
     """The invariant payload parts: experiment, timeout, common params."""
     first = specs[0].params
     rest = specs[1:]
@@ -66,6 +68,7 @@ def _shared_context(specs: Sequence[RunSpec],
     return {
         "experiment": specs[0].experiment,
         "timeout_s": timeout_s,
+        "trace_dir": trace_dir,
         "common_params": [list(kv) for kv in common],
     }
 
@@ -92,12 +95,29 @@ def _payload_from(context: dict, delta: dict) -> dict:
     }
     if context.get("timeout_s") is not None:
         payload["timeout_s"] = context["timeout_s"]
+    if context.get("trace_dir") is not None:
+        payload["trace_dir"] = context["trace_dir"]
     return payload
 
 
 def _run_cell(delta: dict) -> dict:
     """Pool task entry point: context comes from the worker initializer."""
     return _execute_cell(_payload_from(_WORKER_CONTEXT, delta))
+
+
+def _trace_filename(payload: dict) -> str:
+    """Deterministic per-cell trace filename (from the cell identity)."""
+    import hashlib
+    import json as json_module
+
+    digest = hashlib.sha256(json_module.dumps({
+        "experiment": payload["experiment"],
+        "params": payload["params"],
+        "seed_index": payload["seed_index"],
+        "seed": payload.get("seed"),
+    }, sort_keys=True, default=str).encode()).hexdigest()[:10]
+    return (f"{payload['experiment']}-s{payload['seed_index']}"
+            f"-{digest}.jsonl")
 
 
 def _execute_cell(payload: dict) -> dict:
@@ -127,11 +147,28 @@ def _execute_cell(payload: dict) -> dict:
                 f"(module {spec.fn.__module__}) takes no seed "
                 f"parameter; derived seed {seed} ignored (run is "
                 f"deterministic)", RuntimeWarning, stacklevel=2)
+    trace_name = None
+    rec = None
+    if payload.get("trace_dir"):
+        from repro.obs.record import recorder
+        from repro.obs.sinks import JsonlSink
+
+        rec = recorder()
+        if rec.active:
+            rec = None  # an outer scope (repro run --trace) owns it
+        else:
+            trace_name = _trace_filename(payload)
+            rec.enable(JsonlSink(
+                os.path.join(payload["trace_dir"], trace_name)))
     started = time.perf_counter()
-    with run_deadline(payload.get("timeout_s")):
-        result = spec.run(**call_params)
+    try:
+        with run_deadline(payload.get("timeout_s")):
+            result = spec.run(**call_params)
+    finally:
+        if rec is not None:
+            rec.disable()
     elapsed = time.perf_counter() - started
-    return {
+    record = {
         "experiment": payload["experiment"],
         "seed_index": payload["seed_index"],
         "seed": payload["seed"],
@@ -141,6 +178,9 @@ def _execute_cell(payload: dict) -> dict:
         "result_type": result_type_name(result),
         "result": serialize_result(result),
     }
+    if trace_name is not None:
+        record["trace"] = trace_name
+    return record
 
 
 def _failed_record(spec: RunSpec, error: BaseException,
@@ -173,6 +213,7 @@ def _run_cells(
     strict: bool,
     cache: ResultCache,
     progress: Optional[Callable[[str], None]],
+    trace_dir: Optional[str] = None,
 ) -> Dict[int, dict]:
     """Round-based execution with retry: cell index -> final record."""
     results: Dict[int, dict] = {}
@@ -184,7 +225,7 @@ def _run_cells(
     isolate = False  # after a crash round: one single-worker pool per cell
 
     context = _shared_context([specs[index] for index in pending],
-                              policy.timeout_s)
+                              policy.timeout_s, trace_dir)
     deltas = {index: _cell_delta(specs[index], context)
               for index in pending}
 
@@ -317,15 +358,20 @@ class LocalPoolExecutor(Executor):
         from repro.sweep.runner import run_sweep
 
         handle = ShardHandle(spec, host="inprocess")
+        started = time.perf_counter()
         try:
             config = replace(spec.config,
                              shard=(spec.index, spec.count))
+            if config.trace_dir is not None:
+                config = replace(config, trace_dir=os.path.join(
+                    spec.out_dir, "traces"))
             sweep = run_sweep(spec.experiment, config)
             write_sweep_artifacts(sweep, spec.out_dir)
             handle.status = SHARD_OK
         except Exception as error:  # deterministic: never re-dispatch
             handle.status = SHARD_FAILED
             handle.error = f"{type(error).__name__}: {error}"
+        handle.wall_s = time.perf_counter() - started
         return self._registry.track(handle)
 
     def poll(self) -> List[ShardHandle]:

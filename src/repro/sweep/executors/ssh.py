@@ -261,7 +261,9 @@ class SSHExecutor(Executor):
                  transport: Optional[CommandTransport] = None,
                  shards: Optional[int] = None,
                  shard_timeout_s: Optional[float] = None,
-                 remote_root: Optional[str] = None) -> None:
+                 remote_root: Optional[str] = None,
+                 preflight: bool = True,
+                 preflight_timeout_s: float = 30.0) -> None:
         if not hosts:
             raise ValueError("SSHExecutor needs at least one host")
         names = [host.name for host in hosts]
@@ -282,6 +284,12 @@ class SSHExecutor(Executor):
         self._lock = threading.Lock()
         self._cancelled = threading.Event()
         self._registry = _HandleRegistry()
+        self.preflight = preflight
+        self.preflight_timeout_s = preflight_timeout_s
+        #: Hosts dropped by the preflight check, name -> reason.
+        self.preflight_failures: Dict[str, str] = {}
+        self._preflight_done = not preflight
+        self._preflight_lock = threading.Lock()
 
     @property
     def n_shards(self) -> int:
@@ -303,7 +311,54 @@ class SSHExecutor(Executor):
             self._inflight[chosen.name] += 1
             return chosen
 
+    def _check_host(self, host: Host) -> Optional[str]:
+        """One host's preflight; returns a failure reason or None."""
+        try:
+            code, output = self.transport.run(
+                host, [host.python, "-V"],
+                timeout=self.preflight_timeout_s)
+            if code != 0:
+                return (f"{host.python} -V exited {code}: "
+                        f"{output.strip() or '(no output)'}")
+            code, output = self.transport.run(
+                host, [host.python, "-c", "import repro"],
+                timeout=self.preflight_timeout_s)
+            if code != 0:
+                tail = output.strip().splitlines()[-1:] or ["(no output)"]
+                return (f"cannot import repro with {host.python} "
+                        f"(set cwd/env in the hostfile?): {tail[0]}")
+        except TransportError as error:
+            return str(error)
+        return None
+
+    def _ensure_preflight(self) -> None:
+        """Check every host's python + repro import before dispatching.
+
+        A host that fails is dropped from the rotation (the shard goes
+        elsewhere); only when *no* host survives does the sweep itself
+        fail, with every host's reason in the message.
+        """
+        with self._preflight_lock:
+            if self._preflight_done:
+                return
+            for host in self.hosts:
+                reason = self._check_host(host)
+                if reason is not None:
+                    self.preflight_failures[host.name] = reason
+            usable = [host for host in self.hosts
+                      if host.name not in self.preflight_failures]
+            if not usable:
+                details = "; ".join(
+                    f"{name}: {reason}" for name, reason
+                    in sorted(self.preflight_failures.items()))
+                raise TransportError(
+                    f"preflight failed on all "
+                    f"{len(self.hosts)} host(s) — {details}")
+            self.hosts = usable
+            self._preflight_done = True
+
     def submit(self, spec: ShardSpec, *, excluded_hosts=()) -> ShardHandle:
+        self._ensure_preflight()
         host = self._pick_host(excluded_hosts)
         handle = ShardHandle(spec, host=host.name)
         thread = threading.Thread(
@@ -319,6 +374,7 @@ class SSHExecutor(Executor):
             self.remote_root, f"shard-{spec.index}-try{handle.attempts}")
         argv = spec.command(host.python, out_dir=remote_out, heartbeat="")
         with self._slots[host.name]:
+            started = time.monotonic()
             try:
                 if self._cancelled.is_set():
                     raise TransportError("dispatch cancelled")
@@ -346,6 +402,7 @@ class SSHExecutor(Executor):
                 handle.status = SHARD_LOST
                 handle.error = f"{type(error).__name__}: {error}"
             finally:
+                handle.wall_s = time.monotonic() - started
                 with self._lock:
                     self._inflight[host.name] -= 1
 

@@ -102,6 +102,7 @@ class SubprocessShardExecutor(Executor):
                 handle.status = SHARD_LOST
                 handle.error = stale
             return
+        handle.wall_s = time.monotonic() - started
         if returncode == 0:
             manifest = os.path.join(handle.spec.out_dir, "sweep.json")
             if os.path.exists(manifest):

@@ -19,14 +19,18 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.telemetry import merge_telemetry
 from repro.sweep.aggregate import aggregate_records
 from repro.sweep.grid import RunSpec, expand_grid
 from repro.sweep.runner import SweepResult
 
-MERGEABLE_SCHEMAS = ("repro.sweep/v2", "repro.sweep/v3")
+MERGEABLE_SCHEMAS = ("repro.sweep/v2", "repro.sweep/v3",
+                     "repro.sweep/v4")
 
 #: Manifest fields that must agree across every shard of one sweep.
-COORDINATE_FIELDS = ("schema", "experiment", "root_seed", "seeds",
+#: The schema version is checked separately (with a per-shard error
+#: message) before these are compared.
+COORDINATE_FIELDS = ("experiment", "root_seed", "seeds",
                      "params", "grid", "n_total", "code_version")
 
 
@@ -72,6 +76,14 @@ def merge_manifests(manifests: Sequence[dict]) -> SweepResult:
     if not manifests:
         raise MergeError("nothing to merge")
     first = manifests[0]
+    for manifest in manifests[1:]:
+        if manifest.get("schema") != first.get("schema"):
+            raise MergeError(
+                f"mixed manifest schemas: {manifest['_source']} has "
+                f"schema {manifest.get('schema')!r} but "
+                f"{first['_source']} has {first.get('schema')!r}; "
+                f"re-run the divergent shard so all shards share one "
+                f"schema version")
     reference = _coordinates(first)
     for manifest in manifests[1:]:
         coords = _coordinates(manifest)
@@ -137,6 +149,8 @@ def merge_manifests(manifests: Sequence[dict]) -> SweepResult:
         elapsed_s=sum(m.get("elapsed_s", 0.0) for m in manifests),
         shard=None,
         n_total=len(specs),
+        telemetry=merge_telemetry(
+            [m.get("telemetry") for m in manifests]),
     )
 
 

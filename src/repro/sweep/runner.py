@@ -16,8 +16,9 @@ is re-dispatched under :class:`~repro.sweep.retry.ShardRetryPolicy`,
 reusing cached cells from the lost attempt — and finally auto-merged
 through the validated merge path, so the returned
 :class:`SweepResult`'s ``aggregate.csv`` is bit-identical to an
-undispatched run.  The merged manifest (schema ``repro.sweep/v3``)
-records per-shard status/attempts/host under ``dispatch``.
+undispatched run.  The merged manifest (schema ``repro.sweep/v4``)
+records per-shard status/attempts/host under ``dispatch`` and
+wall-domain observability data under ``telemetry``.
 
 Cell-level fault tolerance (retry with backoff, per-run timeouts,
 worker-crash isolation, ``strict`` fail-fast) is unchanged from the
@@ -48,9 +49,11 @@ from repro.sweep.executors.base import (
 from repro.sweep.executors.local import _run_cells
 from repro.sweep.grid import RunSpec, expand_grid, shard_specs
 from repro.sweep.retry import RetryPolicy, ShardRetryPolicy, SweepError
+from repro.obs.telemetry import build_telemetry
 
-#: Manifest schema written by this version; the merge path still reads v2.
-MANIFEST_SCHEMA = "repro.sweep/v3"
+#: Manifest schema written by this version; the merge path still reads
+#: v2 and v3.  v4 adds the wall-domain ``telemetry`` section.
+MANIFEST_SCHEMA = "repro.sweep/v4"
 
 Progress = Optional[Callable[[str], None]]
 
@@ -82,6 +85,10 @@ class SweepConfig:
     strict: bool = False
     shard_retry: Optional[ShardRetryPolicy] = None
     shard_dir: Optional[str] = None
+    #: Directory for per-run JSONL trace files (None disables tracing).
+    #: Workers enable the global recorder around each run; tracing never
+    #: changes results, only observes them.
+    trace_dir: Optional[str] = None
 
 
 _CONFIG_FIELDS = tuple(f.name for f in fields(SweepConfig))
@@ -111,6 +118,9 @@ class SweepResult:
     #: Shard-dispatch record (executor name + per-shard status rows),
     #: populated only for executor-dispatched sweeps.  Schema v3.
     dispatch: Optional[dict] = None
+    #: Wall-domain telemetry section (schema ``repro.obs.telemetry/v1``),
+    #: new in manifest v4.
+    telemetry: Optional[dict] = None
 
     @property
     def n_runs(self) -> int:
@@ -139,6 +149,7 @@ class SweepResult:
                       "dir": self.cache_dir},
             "elapsed_s": self.elapsed_s,
             "dispatch": self.dispatch,
+            "telemetry": self.telemetry,
             "runs": self.records,
             "aggregate": self.aggregate,
         }
@@ -287,7 +298,8 @@ def run_sweep(
     if pending:
         executed = _run_cells(specs, pending, jobs=config.jobs,
                               policy=policy, strict=config.strict,
-                              cache=cache, progress=progress)
+                              cache=cache, progress=progress,
+                              trace_dir=config.trace_dir)
         for index in pending:
             record = dict(executed[index])
             record["cached"] = False
@@ -296,6 +308,15 @@ def run_sweep(
     aggregate = aggregate_records(
         [record["result"] for record in records
          if record.get("status", "ok") == "ok"])
+    elapsed = time.perf_counter() - started
+    telemetry = build_telemetry(
+        wall_s=elapsed,
+        records=[record for record in records if record is not None],
+        jobs=config.jobs,
+        cache_stats={"hits": hits, "misses": len(pending),
+                     "stores": cache.stats["stores"],
+                     "evictions": cache.stats["evictions"]},
+    )
     return SweepResult(
         experiment=experiment,
         root_seed=config.root_seed,
@@ -310,9 +331,10 @@ def run_sweep(
         cache_misses=len(pending),
         cache_dir=cache.root if cache.enabled else None,
         code_version=cache.version,
-        elapsed_s=time.perf_counter() - started,
+        elapsed_s=elapsed,
         shard=shard,
         n_total=n_total,
+        telemetry=telemetry,
     )
 
 
@@ -362,9 +384,17 @@ def _run_dispatched(experiment: str, config: SweepConfig,
                  f"via {executor.name}")
 
     handles = {}
+    submit_started = time.perf_counter()
     try:
         for spec in shard_list:
             handles[spec.index] = executor.submit(spec)
+        submit_s = time.perf_counter() - submit_started
+        preflight_failures = dict(
+            getattr(executor, "preflight_failures", None) or {})
+        if preflight_failures and progress is not None:
+            for host in sorted(preflight_failures):
+                progress(f"host {host} dropped by preflight: "
+                         f"{preflight_failures[host]}")
         while True:
             executor.poll()
             busy = False
@@ -404,7 +434,9 @@ def _run_dispatched(experiment: str, config: SweepConfig,
                 for i in range(count)):
             shutil.rmtree(workdir, ignore_errors=True)
 
+    collect_started = time.perf_counter()
     merged = merge_sweep_dirs(executor.collect())
+    collect_s = time.perf_counter() - collect_started
     merged.jobs = config.jobs
     merged.elapsed_s = time.perf_counter() - started  # wall clock
     merged.dispatch = {
@@ -412,6 +444,22 @@ def _run_dispatched(experiment: str, config: SweepConfig,
         "n_shards": count,
         "shards": [handles[index].describe() for index in sorted(handles)],
     }
+    if preflight_failures:
+        merged.dispatch["preflight_failures"] = preflight_failures
+    if merged.telemetry is not None:
+        # Shard telemetry was merged from the surviving attempts'
+        # manifests (a lost attempt left no manifest, so its partial
+        # telemetry is naturally discarded); add the dispatch-level
+        # wall measurements only the driver can see.
+        merged.telemetry["dispatch"] = {
+            "executor": executor.name,
+            "n_shards": count,
+            "wall_s": merged.elapsed_s,
+            "submit_s": submit_s,
+            "collect_s": collect_s,
+            "shards": [handles[index].describe()
+                       for index in sorted(handles)],
+        }
     if progress is not None:
         for index in sorted(handles):
             handle = handles[index]

@@ -1,0 +1,23 @@
+# repro-lint: module=repro.obs.trace_fixture
+"""Wall-clock fixture: the sim-domain side of repro.obs.
+
+Identical clock reads to obs_telemetry_good.py, but scoped to a
+non-telemetry obs module — every one must fire DET003.  Entropy reads
+are also policed (no obs module is entropy-exempt).
+"""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # DET003 (line 15)
+
+
+def started() -> str:
+    return datetime.now().isoformat()  # DET003 (line 19)
+
+
+def token() -> bytes:
+    return os.urandom(8)  # DET003 (line 23)

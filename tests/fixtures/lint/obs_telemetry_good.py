@@ -1,0 +1,18 @@
+# repro-lint: module=repro.obs.telemetry.fixture_good
+"""Wall-clock fixture: repro.obs.telemetry is the sanctioned wall domain.
+
+Same calls as obs_bad.py, but scoped to the telemetry module — the
+DET003 wall-clock half must stay silent.  Entropy is NOT exempt even
+here, so this file sticks to clock reads.
+"""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # wall domain: fine here
+
+
+def started() -> str:
+    return datetime.now().isoformat()  # wall domain: fine here

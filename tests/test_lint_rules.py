@@ -53,6 +53,23 @@ def test_determinism_good_fixture_is_clean():
     assert findings_for("det_good.py") == []
 
 
+def test_obs_telemetry_wallclock_exempt():
+    # repro.obs.telemetry is the one sanctioned wall-domain module:
+    # clock reads there are by design, not leaks.
+    assert findings_for("obs_telemetry_good.py") == []
+
+
+def test_obs_sim_domain_wallclock_flagged():
+    # Identical calls in any other repro.obs module must fire DET003 —
+    # this pair pins the sim/wall time-domain boundary.
+    got = findings_for("obs_bad.py")
+    assert got == [
+        ("DET003", 15),
+        ("DET003", 19),
+        ("DET003", 23),
+    ]
+
+
 def test_determinism_rules_scoped_to_sim_packages(tmp_path):
     # Same code, no `module=` pragma putting it in a sim package: silent.
     source = (fixture("det_bad.py"))

@@ -59,5 +59,5 @@ class TestSweep:
         assert "cache:" in capsys.readouterr().out
         with open(os.path.join(str(out_dir), "sweep.json")) as handle:
             manifest = json.load(handle)
-        assert manifest["schema"] == "repro.sweep/v3"
+        assert manifest["schema"] == "repro.sweep/v4"
         assert manifest["n_runs"] == 1

@@ -1,0 +1,77 @@
+"""Disabled-tracing overhead: the guard must be invisible.
+
+Every instrumented seam pays one attribute read + branch when the
+global recorder is off (the hot per-packet taps pay *nothing*: no
+TraceTap is attached to ``Network.taps`` at all).  This test pins the
+acceptance bound as a ratio — the guard's cost, amortized over far more
+evaluations than a run ever performs, stays under 2% of even a minimal
+simulator workload — so it holds on slow CI machines where absolute
+timings drift.
+"""
+
+from time import perf_counter
+
+from repro.net.events import Simulator
+from repro.obs.record import recorder
+
+#: Generous upper bound on disabled-guard evaluations per simulation
+#: run: Simulator.run + Network construction + detector verdicts +
+#: consensus rounds is O(tens); per-packet paths have no guard at all.
+GUARD_SITES_PER_RUN = 100
+
+
+def _guard_seconds_per_check(rec, n=100_000, repeats=3):
+    def once():
+        start = perf_counter()
+        for _ in range(n):
+            if rec.active:
+                raise AssertionError("recorder unexpectedly enabled")
+        return perf_counter() - start
+
+    return min(once() for _ in range(repeats)) / n
+
+
+def _workload_seconds_per_run(events=2000, repeats=3):
+    def once():
+        sim = Simulator()
+        remaining = [events]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        start = perf_counter()
+        dispatched = sim.run()
+        elapsed = perf_counter() - start
+        assert dispatched == events
+        return elapsed
+
+    return min(once() for _ in range(repeats))
+
+
+def test_micro_overhead():
+    rec = recorder()
+    assert not rec.active
+
+    per_check = _guard_seconds_per_check(rec)
+    per_run = _workload_seconds_per_run()
+
+    overhead = per_check * GUARD_SITES_PER_RUN
+    ratio = overhead / per_run
+    assert ratio < 0.02, (
+        f"disabled-recorder guard costs {overhead * 1e6:.2f} µs per run "
+        f"({ratio:.2%} of a {per_run * 1e3:.2f} ms minimal workload); "
+        f"the observability subsystem must be free when off")
+
+
+def test_disabled_network_attaches_no_tap():
+    # The per-packet fast path depends on this: with the recorder off,
+    # Network.__init__ must not install a TraceTap at all.
+    from repro.net.router import Network, Topology
+
+    assert not recorder().active
+    topo = Topology()
+    topo.add_link("a", "b", bandwidth=1e6, delay=0.001)
+    assert Network(topo).taps == []

@@ -105,6 +105,16 @@ class TestReconciliation:
         self.roundtrip(a_only=a_only - common, b_only=b_only - common,
                        common=common, max_diff=8)
 
+    def test_fingerprint_near_field_top_misses_sample_points(self):
+        # Regression: images land strictly below the reserved sample band,
+        # so a fingerprint just under P can never zero χ_S at a sample
+        # point.  2305843009213693937 == P - 14 used to map onto the
+        # 13th sample point and abort the reconciliation.
+        self.roundtrip(a_only=set(), b_only={P - 14}, common=set(),
+                       max_diff=12)
+        self.roundtrip(a_only={P - 14}, b_only=set(), common=set(),
+                       max_diff=12)
+
     def test_message_size_is_max_diff_plus_one(self):
         message = CharacteristicPolynomialSet.from_set(set(range(1000)),
                                                        max_diff=10)

@@ -6,7 +6,7 @@ The load-bearing properties:
   produces an ``aggregate.csv`` byte-identical to an undispatched run
   of the same sweep;
 * a shard whose process is SIGKILLed mid-run is re-dispatched and the
-  sweep still completes, with the ``repro.sweep/v3`` manifest recording
+  sweep still completes, with the ``repro.sweep/v4`` manifest recording
   the extra attempt;
 * a wedged shard (SIGSTOP) is detected through its stale heartbeat,
   killed, and marked ``lost``;
@@ -35,6 +35,7 @@ from repro.sweep.executors import (
     load_hostfile,
     parse_hosts,
 )
+from repro.sweep.executors.ssh import TransportError
 from repro.sweep.executors.base import (
     SHARD_LOST,
     SHARD_OK,
@@ -149,7 +150,7 @@ class TestExecutorEquivalence:
             assert merged.dispatch["n_shards"] == 2
             assert all(row["status"] == SHARD_OK
                        for row in merged.dispatch["shards"])
-            assert merged.manifest()["schema"] == "repro.sweep/v3"
+            assert merged.manifest()["schema"] == "repro.sweep/v4"
             assert _aggregate_bytes(merged, tmp_path / name) == reference
 
     def test_shard_artifacts_kept_in_shard_dir(self, plugin, tmp_path):
@@ -198,7 +199,16 @@ class TestSubprocessSupervision:
         assert all(row["status"] == SHARD_OK for row in rows.values())
         assert rows[killed[0]]["attempts"] == 2
         assert merged.n_runs == 2 and merged.n_failed == 0
-        assert merged.manifest()["schema"] == "repro.sweep/v3"
+        assert merged.manifest()["schema"] == "repro.sweep/v4"
+        # The SIGKILLed attempt died before writing a manifest, so its
+        # partial telemetry is discarded; only the surviving shard and
+        # the successful retry contribute to the merged section.
+        telemetry = merged.manifest()["telemetry"]
+        assert telemetry["runs"] == {"total": 2, "ok": 2, "failed": 0,
+                                     "cached": 0, "executed": 2}
+        assert telemetry["wall_s"] > 0
+        wall_times = [row["wall_s"] for row in merged.dispatch["shards"]]
+        assert all(w is not None and w > 0 for w in wall_times)
 
     def test_lost_shard_exhausts_attempts(self, plugin, tmp_path):
         markers = tmp_path / "markers"
@@ -279,7 +289,8 @@ class TestSSHExecutor:
 
         executor = SSHExecutor(
             parse_hosts("alpha,beta"), transport=FlakyTransport(),
-            shards=1, remote_root=str(tmp_path / "remote"))
+            shards=1, remote_root=str(tmp_path / "remote"),
+            preflight=False)  # FlakyTransport counts raw dispatch calls
         merged = run_sweep(
             SLOW,
             SweepConfig(seeds=1, jobs=1, use_cache=False,
@@ -292,6 +303,125 @@ class TestSSHExecutor:
         assert len(calls) == 2 and calls[0] != calls[1]
         row = merged.dispatch["shards"][0]
         assert row["status"] == SHARD_OK and row["attempts"] == 2
+
+
+class TestDispatchedTracing:
+    def test_shard_children_trace_and_telemetry_merges(self, plugin,
+                                                       tmp_path, capsys):
+        from repro.__main__ import main
+        from repro.obs.cli import summarize_paths
+
+        out = tmp_path / "out"
+        assert main(["sweep", TOY, "--seeds", "2", "--jobs", "1",
+                     "--no-cache", "--executor", "subprocess",
+                     "--shards", "2", "--trace",
+                     "--out", str(out)]) == 0
+        summary = summarize_paths([str(out)])
+        # Each shard child traced its own run; collect() brought the
+        # per-shard trace dirs back under <out>/shards/.
+        assert summary["traces"] == 2
+        telemetry = summary["telemetry"]
+        assert telemetry["runs"]["total"] == 2
+        dispatch = telemetry["dispatch"]
+        assert dispatch["executor"] == "subprocess"
+        assert dispatch["n_shards"] == 2
+        assert dispatch["submit_s"] >= 0 and dispatch["collect_s"] >= 0
+
+
+class TestSSHPreflight:
+    """The preflight checks: a bad host fails, not the sweep."""
+
+    def _spec(self, tmp_path):
+        return ShardSpec(
+            TOY, SweepConfig(seeds=1, jobs=1, use_cache=False),
+            index=0, count=1, out_dir=str(tmp_path / "out"))
+
+    def test_bad_host_dropped_sweep_completes(self, plugin, tmp_path):
+        class NoPythonOnAlpha(LocalCommandTransport):
+            def run(self, host, argv, timeout=None):
+                if host.name == "alpha" and list(argv[1:2]) == ["-V"]:
+                    return 127, "sh: python: command not found"
+                return super().run(host, argv, timeout)
+
+        executor = SSHExecutor(
+            parse_hosts("alpha,beta"), transport=NoPythonOnAlpha(),
+            shards=2, remote_root=str(tmp_path / "remote"))
+        merged = run_sweep(
+            TOY, SweepConfig(seeds=2, jobs=1, use_cache=False,
+                             shard_dir=str(tmp_path / "shards")),
+            executor=executor)
+        assert merged.n_runs == 2 and merged.n_failed == 0
+        assert "exited 127" in executor.preflight_failures["alpha"]
+        assert [host.name for host in executor.hosts] == ["beta"]
+        assert all(row["host"] == "beta"
+                   for row in merged.dispatch["shards"])
+        # The dropped host is recorded in the dispatch section so a
+        # merged manifest explains why one machine did no work.
+        assert "alpha" in merged.dispatch["preflight_failures"]
+
+    def test_unimportable_repro_reported(self, plugin, tmp_path):
+        class NoRepro(LocalCommandTransport):
+            def run(self, host, argv, timeout=None):
+                if list(argv[1:2]) == ["-c"]:
+                    return 1, ("Traceback (most recent call last):\n"
+                               "ModuleNotFoundError: "
+                               "No module named 'repro'")
+                return super().run(host, argv, timeout)
+
+        executor = SSHExecutor(
+            parse_hosts("alpha"), transport=NoRepro(), shards=1,
+            remote_root=str(tmp_path / "remote"))
+        with pytest.raises(TransportError,
+                           match="preflight failed on all 1 host"):
+            executor.submit(self._spec(tmp_path))
+        reason = executor.preflight_failures["alpha"]
+        assert "cannot import repro" in reason
+        assert "ModuleNotFoundError" in reason
+
+    def test_all_hosts_failing_aborts_with_every_reason(self, plugin,
+                                                        tmp_path):
+        class Unreachable(LocalCommandTransport):
+            def run(self, host, argv, timeout=None):
+                raise TransportError(f"ssh to {host.name}: "
+                                     f"connection refused")
+
+        executor = SSHExecutor(
+            parse_hosts("alpha,beta"), transport=Unreachable(), shards=1,
+            remote_root=str(tmp_path / "remote"))
+        with pytest.raises(TransportError,
+                           match="preflight failed on all 2 host"):
+            executor.submit(self._spec(tmp_path))
+        assert set(executor.preflight_failures) == {"alpha", "beta"}
+
+    def test_preflight_runs_once_and_can_be_disabled(self, plugin,
+                                                     tmp_path):
+        calls = []
+
+        class Counting(LocalCommandTransport):
+            def run(self, host, argv, timeout=None):
+                calls.append(list(argv[1:2]))
+                return super().run(host, argv, timeout)
+
+        def dispatch(executor, name):
+            return run_sweep(
+                TOY, SweepConfig(seeds=2, jobs=1, use_cache=False,
+                                 shard_dir=str(tmp_path / name)),
+                executor=executor)
+
+        merged = dispatch(SSHExecutor(
+            parse_hosts("alpha"), transport=Counting(), shards=2,
+            remote_root=str(tmp_path / "r1")), "checked")
+        assert merged.n_runs == 2
+        # One -V and one import probe for the host, not one per shard.
+        assert calls.count(["-V"]) == 1 and calls.count(["-c"]) == 1
+        assert "preflight_failures" not in merged.dispatch
+
+        calls.clear()
+        dispatch(SSHExecutor(
+            parse_hosts("alpha"), transport=Counting(), shards=2,
+            remote_root=str(tmp_path / "r2"), preflight=False),
+            "unchecked")
+        assert ["-V"] not in calls and ["-c"] not in calls
 
 
 class TestHosts:
@@ -478,7 +608,7 @@ class TestCliDispatch:
                      "--no-cache", "--quiet", "--out", str(out)]) == 0
         import json
         manifest = json.loads((out / "sweep.json").read_text())
-        assert manifest["schema"] == "repro.sweep/v3"
+        assert manifest["schema"] == "repro.sweep/v4"
         assert manifest["dispatch"]["executor"] == "subprocess"
         assert manifest["n_runs"] == 2
 

@@ -147,7 +147,7 @@ class TestArtifacts:
 
         with open(paths["sweep.json"]) as handle:
             manifest = json.load(handle)
-        assert manifest["schema"] == "repro.sweep/v3"
+        assert manifest["schema"] == "repro.sweep/v4"
         assert manifest["experiment"] == toy_registered
         assert manifest["n_runs"] == 3
         assert len(manifest["runs"]) == 3
