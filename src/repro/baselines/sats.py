@@ -22,11 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.summaries import PathOracle
+from repro.core import PathOracle
 from repro.crypto.fingerprint import FingerprintSampler, fingerprint
 from repro.crypto.keys import KeyInfrastructure
-from repro.net.packet import Packet
-from repro.net.router import MonitorTap, Network, Router
+from repro.net import MonitorTap, Network, Packet, Router
 
 PathSegment = Tuple[str, ...]
 

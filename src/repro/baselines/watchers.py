@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.net.topology import Topology
+from repro.net import Topology
 
 # (flow source, upstream, downstream, destination) -> bytes.  Keeping the
 # source in the key realizes WATCHERS' S/T/D counter split: an entry is

@@ -1,0 +1,50 @@
+"""``repro.bench`` — registered benchmark workloads and regression gates.
+
+The ROADMAP's north star is a reproduction that runs "as fast as the
+hardware allows"; this package is how that is *measured and locked in*:
+
+* :mod:`repro.bench.workloads` — the registered workload catalogue
+  (chi, pi2, pik2, fatih, tcp-heavy, adversary-heavy), each a thin
+  wrapper over a registry experiment.
+* :mod:`repro.bench.runner` — run workloads, record ``BENCH.json``
+  history (schema ``repro.bench/v1``).
+* :mod:`repro.bench.compare` — A/B comparison between two recorded
+  runs; the CI ``bench-gate`` job fails when events/sec drops below a
+  checked-in floor.
+* :mod:`repro.bench.sweep` — distill a traced sweep directory into
+  headline numbers (grown out of ``repro obs bench``).
+* :mod:`repro.bench.cli` — ``python -m repro bench {run,compare,list}``.
+
+Unlike ``repro.net``/``repro.core``, this package measures wall-clock
+time by design and is therefore outside the DET lint scope.
+"""
+
+from repro.bench.compare import CompareReport, WorkloadComparison, compare_runs, load_run
+from repro.bench.runner import (
+    BENCH_SCHEMA,
+    append_run,
+    latest_run,
+    load_history,
+    run_suite,
+    run_workload,
+)
+from repro.bench.sweep import build_sweep_bench
+from repro.bench.workloads import SUITES, WORKLOADS, Workload, get_workload
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CompareReport",
+    "SUITES",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadComparison",
+    "append_run",
+    "build_sweep_bench",
+    "compare_runs",
+    "get_workload",
+    "latest_run",
+    "load_history",
+    "load_run",
+    "run_suite",
+    "run_workload",
+]

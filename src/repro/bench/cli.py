@@ -1,0 +1,112 @@
+"""``python -m repro bench``: run, compare and list benchmark workloads.
+
+Subcommands:
+
+``bench run [--suite smoke|full] [--workload NAME ...] [--out BENCH.json]``
+    Run a suite (or an explicit workload subset), print per-workload
+    events/sec, and append the run to the ``BENCH.json`` history.
+
+``bench compare BASE NEW [--fail-below RATIO]``
+    Ratio each workload's events/sec between two recorded runs (history
+    files or bare run entries).  With ``--fail-below`` the exit status
+    is 1 when any ratio falls under the threshold — the CI regression
+    gate.
+
+``bench list``
+    The workload catalogue with per-suite repetition counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.bench.compare import compare_runs, load_run
+from repro.bench.runner import append_run, format_run, run_suite
+from repro.bench.workloads import SUITES, WORKLOADS
+
+
+def add_bench_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench", help="run/compare registered benchmark workloads")
+    bench_sub = parser.add_subparsers(dest="bench_command", required=True)
+
+    run = bench_sub.add_parser(
+        "run", help="run a workload suite and record BENCH.json history")
+    run.add_argument("--suite", choices=SUITES, default="smoke",
+                     help="which suite sizing to use (default: %(default)s)")
+    run.add_argument("--workload", action="append", default=None,
+                     metavar="NAME", dest="workloads",
+                     help="run only this workload (repeatable; default: "
+                          "all registered workloads)")
+    run.add_argument("--reps", type=int, default=None,
+                     help="override every workload's repetition count")
+    run.add_argument("--out", default="BENCH.json",
+                     help="history file to append to (default: %(default)s)")
+    run.add_argument("--no-record", action="store_true",
+                     help="print the numbers without touching --out")
+    run.set_defaults(func=cmd_bench_run)
+
+    compare = bench_sub.add_parser(
+        "compare", help="A/B compare two recorded runs")
+    compare.add_argument("base", metavar="BASE",
+                         help="baseline BENCH.json (or bare run entry)")
+    compare.add_argument("new", metavar="NEW",
+                         help="candidate BENCH.json (or bare run entry)")
+    compare.add_argument("--fail-below", type=float, default=None,
+                         metavar="RATIO",
+                         help="exit 1 if any workload's new/base "
+                              "events-per-second ratio is below RATIO "
+                              "(0.9 = fail on a >10%% regression)")
+    compare.set_defaults(func=cmd_bench_compare)
+
+    lister = bench_sub.add_parser("list", help="list registered workloads")
+    lister.set_defaults(func=cmd_bench_list)
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    unknown = [n for n in (args.workloads or []) if n not in WORKLOADS]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(WORKLOADS)}", file=sys.stderr)
+        return 2
+    entry = run_suite(suite=args.suite, workloads=args.workloads,
+                      reps=args.reps, progress=print)
+    for line in format_run(entry):
+        print(line)
+    if not args.no_record:
+        append_run(args.out, entry)
+        print(f"recorded in {args.out}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    try:
+        base = load_run(args.base)
+        new = load_run(args.new)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = compare_runs(base, new)
+    for line in report.format(args.fail_below):
+        print(line)
+    if args.fail_below is not None and not report.ok(args.fail_below):
+        failures = [r.name for r in report.failures(args.fail_below)]
+        failures += report.missing
+        print(f"FAIL: events/sec below {args.fail_below:.2f}x of the "
+              f"baseline for: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    width = max(len(name) for name in WORKLOADS)
+    lines: List[str] = []
+    for name, workload in WORKLOADS.items():
+        seeded = " [seeded]" if workload.seeded else ""
+        lines.append(f"{name:<{width}}  {workload.description}{seeded}")
+        lines.append(f"{'':<{width}}    experiment={workload.experiment} "
+                     f"smoke×{workload.smoke_reps} full×{workload.full_reps}")
+    print("\n".join(lines))
+    return 0

@@ -1,0 +1,106 @@
+"""A/B comparison of two recorded bench runs — the regression gate.
+
+``compare_runs(base, new)`` ratios each workload's events/sec; the CI
+``bench-gate`` job feeds a checked-in floor as *base* and a fresh smoke
+run as *new* and fails the build when any ratio drops below
+``--fail-below`` (0.9 = a >10% regression).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.runner import BENCH_SCHEMA, latest_run
+
+
+@dataclass(frozen=True)
+class WorkloadComparison:
+    name: str
+    base_events_per_s: float
+    new_events_per_s: float
+
+    @property
+    def ratio(self) -> float:
+        if self.base_events_per_s <= 0:
+            return float("inf")
+        return self.new_events_per_s / self.base_events_per_s
+
+
+@dataclass
+class CompareReport:
+    rows: List[WorkloadComparison]
+    missing: List[str]  # workloads in base but absent from new
+
+    def failures(self, fail_below: float) -> List[WorkloadComparison]:
+        return [r for r in self.rows if r.ratio < fail_below]
+
+    def ok(self, fail_below: float) -> bool:
+        return not self.failures(fail_below) and not self.missing
+
+    def format(self, fail_below: Optional[float] = None) -> List[str]:
+        width = max((len(r.name) for r in self.rows), default=8)
+        lines = [f"{'workload':<{width}}  {'base ev/s':>12}  "
+                 f"{'new ev/s':>12}  ratio"]
+        for row in self.rows:
+            verdict = ""
+            if fail_below is not None:
+                verdict = ("  FAIL" if row.ratio < fail_below else "  ok")
+            lines.append(
+                f"{row.name:<{width}}  {row.base_events_per_s:>12.0f}  "
+                f"{row.new_events_per_s:>12.0f}  {row.ratio:5.2f}x"
+                f"{verdict}")
+        for name in self.missing:
+            lines.append(f"{name:<{width}}  missing from the new run  FAIL")
+        return lines
+
+
+def load_run(path: str) -> dict:
+    """Load one run entry from *path*.
+
+    Accepts either a ``repro.bench/v1`` history (takes the latest run)
+    or a bare run entry (a ``workloads`` mapping at top level) — the
+    checked-in floor uses the latter so review diffs stay small.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if "runs" in data:
+        schema = data.get("schema")
+        if schema != BENCH_SCHEMA:
+            raise ValueError(
+                f"{path}: expected schema {BENCH_SCHEMA!r}, got {schema!r}")
+        entry = latest_run(data)
+        if entry is None:
+            raise ValueError(f"{path}: history has no recorded runs")
+        return entry
+    if "workloads" not in data:
+        raise ValueError(
+            f"{path}: neither a {BENCH_SCHEMA} history nor a run entry "
+            f"(no 'runs' or 'workloads' key)")
+    return data
+
+
+def compare_runs(base: dict, new: dict) -> CompareReport:
+    """Compare every workload recorded in *base* against *new*.
+
+    Workloads only present in *new* are ignored (adding a workload must
+    not fail the gate); workloads missing from *new* are reported and
+    fail it (a silently skipped workload is not a passing one).
+    """
+    base_workloads = base.get("workloads", {})
+    new_workloads = new.get("workloads", {})
+    rows = []
+    missing = []
+    for name in base_workloads:
+        if name not in new_workloads:
+            missing.append(name)
+            continue
+        rows.append(WorkloadComparison(
+            name=name,
+            base_events_per_s=float(
+                base_workloads[name].get("events_per_s", 0.0)),
+            new_events_per_s=float(
+                new_workloads[name].get("events_per_s", 0.0)),
+        ))
+    return CompareReport(rows=rows, missing=missing)

@@ -1,0 +1,148 @@
+"""Run benchmark workloads and keep ``BENCH.json`` history.
+
+``BENCH.json`` (schema ``repro.bench/v1``) is an append-only history:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/v1",
+      "runs": [
+        {
+          "suite": "smoke",
+          "timestamp": "2026-08-08T12:00:00Z",
+          "platform": {"python": "3.11.9", "machine": "x86_64"},
+          "workloads": {
+            "chi": {"experiment": "chi", "reps": 2, "wall_s": 3.1,
+                    "sim_events": 480000, "events_per_s": 154000.0}
+          }
+        }
+      ]
+    }
+
+Events are counted via :attr:`repro.net.events.Simulator.dispatched_total`
+— a process-wide cumulative counter read as a delta around each run, so
+the measured loop carries no instrumentation overhead (no recorder, no
+trace taps).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.workloads import WORKLOADS, Workload, get_workload
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+def run_workload(workload: Workload, reps: int) -> dict:
+    """Run *workload* ``reps`` times; return its measured metrics."""
+    # Imported here so ``repro bench list`` stays instant and the
+    # experiment registry (plugins included) only loads when measuring.
+    from repro.eval.registry import run_experiment
+    from repro.net import Simulator
+
+    wall_s = 0.0
+    sim_events = 0
+    for rep in range(reps):
+        params = dict(workload.params)
+        if workload.seeded:
+            params["seed"] = rep
+        before = Simulator.dispatched_total
+        t0 = time.perf_counter()
+        run_experiment(workload.experiment, params)
+        wall_s += time.perf_counter() - t0
+        sim_events += Simulator.dispatched_total - before
+    return {
+        "experiment": workload.experiment,
+        "reps": reps,
+        "wall_s": wall_s,
+        "sim_events": sim_events,
+        "events_per_s": (sim_events / wall_s) if wall_s > 0 else 0.0,
+    }
+
+
+def run_suite(suite: str = "smoke",
+              workloads: Optional[List[str]] = None,
+              reps: Optional[int] = None,
+              progress=None) -> dict:
+    """Run a suite (or an explicit workload subset) into one run entry.
+
+    ``reps`` overrides every workload's per-suite repetition count;
+    ``progress`` (if given) is called with one line per finished
+    workload.
+    """
+    names = list(workloads) if workloads else list(WORKLOADS)
+    entry: dict = {
+        "suite": suite,
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "workloads": {},
+    }
+    for name in names:
+        workload = get_workload(name)
+        measured = run_workload(workload,
+                                reps if reps is not None
+                                else workload.reps_for(suite))
+        entry["workloads"][name] = measured
+        if progress is not None:
+            progress(f"{name}: {measured['sim_events']} events in "
+                     f"{measured['wall_s']:.2f} s "
+                     f"({measured['events_per_s']:.0f}/s)")
+    return entry
+
+
+# -- history ----------------------------------------------------------------
+
+def load_history(path: str) -> dict:
+    """Load a ``BENCH.json`` history, or an empty one if missing."""
+    if not os.path.exists(path):
+        return {"schema": BENCH_SCHEMA, "runs": []}
+    with open(path, "r", encoding="utf-8") as fh:
+        history = json.load(fh)
+    schema = history.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BENCH_SCHEMA!r}, got {schema!r}")
+    history.setdefault("runs", [])
+    return history
+
+
+def append_run(path: str, entry: dict) -> dict:
+    """Append one run entry to the history at *path*; return it."""
+    history = load_history(path)
+    history["runs"].append(entry)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return history
+
+
+def latest_run(history: dict) -> Optional[dict]:
+    runs = history.get("runs") or []
+    return runs[-1] if runs else None
+
+
+def format_run(entry: dict) -> List[str]:
+    """Human-readable lines for one run entry."""
+    lines = [f"suite: {entry.get('suite', '?')}  "
+             f"({entry.get('timestamp', 'no timestamp')})"]
+    workloads: Dict[str, dict] = entry.get("workloads", {})
+    width = max((len(n) for n in workloads), default=0)
+    for name, m in workloads.items():
+        lines.append(
+            f"  {name:<{width}}  {m['sim_events']:>9d} events  "
+            f"{m['wall_s']:>7.2f} s  {m['events_per_s']:>10.0f} ev/s  "
+            f"({m['reps']} rep{'s' if m['reps'] != 1 else ''})")
+    return lines

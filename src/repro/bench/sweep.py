@@ -1,0 +1,46 @@
+"""Distill a traced sweep directory into headline bench numbers.
+
+Grown out of ``repro obs bench`` (which remains as a deprecated alias):
+given a sweep directory produced with ``--trace``, pull wall time from
+the manifest telemetry, simulator events from the merged metric
+snapshots, and emit the numbers the ROADMAP tracks.  The output keeps
+the historical ``repro.obs.bench/v1`` schema so existing consumers of
+``BENCH_obs.json`` keep parsing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.cli import summarize_paths
+
+#: Schema of the sweep-distillation output (pre-dates ``repro.bench/v1``
+#: and is kept for ``BENCH_obs.json`` compatibility).
+SWEEP_BENCH_SCHEMA = "repro.obs.bench/v1"
+
+
+def build_sweep_bench(sweep_dir: str) -> dict:
+    """Headline benchmark numbers for a traced sweep directory."""
+    summary = summarize_paths([sweep_dir])
+    telemetry = summary.get("telemetry") or {}
+    wall_s = float(telemetry.get("wall_s", 0.0))
+    if wall_s <= 0.0:
+        manifest_path = os.path.join(sweep_dir, "sweep.json")
+        if os.path.exists(manifest_path):
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                wall_s = float(json.load(fh).get("elapsed_s", 0.0))
+    sim_events = 0
+    events_metric = summary["metrics"].get("repro.net.sim.events")
+    if events_metric:
+        sim_events = int(events_metric.get("value", 0))
+    cache = telemetry.get("cache", {})
+    return {
+        "schema": SWEEP_BENCH_SCHEMA,
+        "sweep_dir": os.path.abspath(sweep_dir),
+        "wall_s": wall_s,
+        "sim_events": sim_events,
+        "events_per_s": sim_events / wall_s if wall_s > 0 else 0.0,
+        "cache_hit_rate": float(cache.get("hit_rate", 0.0)),
+        "runs": telemetry.get("runs"),
+    }

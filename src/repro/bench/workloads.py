@@ -1,0 +1,79 @@
+"""The registered benchmark workload catalogue.
+
+A workload is a named, parameterized wrapper over a registry experiment
+(:mod:`repro.eval.registry`): the experiment supplies the scenario, the
+workload fixes its parameters and repetition count per suite so every
+bench run measures the same thing.  Seeded experiments vary the seed
+across repetitions (rep *i* runs at ``seed=i``), keeping runs
+deterministic while averaging over scenario variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Suite names, ordered cheapest first.  ``smoke`` is sized for a CI
+#: gate job; ``full`` for local before/after measurements.
+SUITES: Tuple[str, ...] = ("smoke", "full")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark workload: experiment + fixed params + rep counts."""
+
+    name: str
+    experiment: str
+    description: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    smoke_reps: int = 2
+    full_reps: int = 4
+    seeded: bool = True
+
+    def reps_for(self, suite: str) -> int:
+        if suite == "smoke":
+            return self.smoke_reps
+        if suite == "full":
+            return self.full_reps
+        raise ValueError(f"unknown suite {suite!r}; known: "
+                         f"{', '.join(SUITES)}")
+
+
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def _register(workload: Workload) -> Workload:
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(WORKLOADS)}") from None
+
+
+for _w in (
+    Workload("chi", "chi",
+             "χ detection on a droptail bottleneck (attack at 50 s)",
+             smoke_reps=2, full_reps=3),
+    Workload("pi2", "pi2_bench",
+             "Π2 packet-plane run on a 6-router chain",
+             smoke_reps=3, full_reps=6),
+    Workload("pik2", "pik2_bench",
+             "Πk+2 packet-plane run on a 6-router chain",
+             smoke_reps=3, full_reps=6),
+    Workload("fatih", "fig5_7",
+             "Fatih attack/detect/reroute timeline on Abilene",
+             smoke_reps=1, full_reps=1, seeded=False),
+    Workload("tcp-heavy", "tcp_heavy",
+             "many TCP sources + connection setup, congestion only",
+             smoke_reps=1, full_reps=2),
+    Workload("adversary-heavy", "adversary_heavy",
+             "RED bottleneck with combined conditional-drop + SYN-drop",
+             smoke_reps=1, full_reps=2),
+):
+    _register(_w)

@@ -7,7 +7,16 @@
 * the static-threshold baseline (§6.1.1) and the rejected traffic-modeling
   approach (§6.1.2)
 * the Fatih prototype system (§5.3)
+
+The supported surface is exactly ``__all__``; the submodules behind it
+are internal.  Reaching them through the package emits a
+:class:`DeprecationWarning` naming the supported import path, and the
+``API001`` lint rule flags in-repo imports that bypass the package for
+names it already exports.
 """
+
+import importlib as _importlib
+import warnings as _warnings
 
 from repro.core.summaries import (
     SummaryPolicy,
@@ -38,8 +47,8 @@ from repro.core.segments import (
     monitored_segments_pik2,
     pr_statistics,
 )
-from repro.core.pi2 import ProtocolPi2
-from repro.core.pik2 import ProtocolPiK2
+from repro.core.pi2 import Pi2Config, ProtocolPi2
+from repro.core.pik2 import PiK2Config, ProtocolPiK2
 from repro.core.chi import ProtocolChi, ChiConfig, QueueValidator
 from repro.core.static_threshold import StaticThresholdDetector
 from repro.core.qmodel import (
@@ -73,7 +82,9 @@ __all__ = [
     "monitored_segments_pi2",
     "monitored_segments_pik2",
     "pr_statistics",
+    "Pi2Config",
     "ProtocolPi2",
+    "PiK2Config",
     "ProtocolPiK2",
     "ProtocolChi",
     "ChiConfig",
@@ -90,3 +101,43 @@ __all__ = [
     "encode_summary",
     "validate_encoded",
 ]
+
+#: Internal implementation modules, deprecated as import targets.
+_INTERNAL_MODULES = (
+    "chi",
+    "codecs",
+    "detector",
+    "fatih",
+    "pi2",
+    "pik2",
+    "qmodel",
+    "replica",
+    "segments",
+    "static_threshold",
+    "summaries",
+    "validation",
+)
+
+# Drop the submodule bindings the re-exports above created on the
+# package, so attribute access routes through __getattr__ (PEP 562)
+# and carries a deprecation warning.
+for _name in _INTERNAL_MODULES:
+    globals().pop(_name, None)
+del _name
+
+
+def __getattr__(name: str):
+    if name in _INTERNAL_MODULES:
+        _warnings.warn(
+            f"repro.core.{name} is an internal module; import the "
+            f"supported names from the repro.core package instead "
+            f"(see repro.core.__all__)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _importlib.import_module(f"repro.core.{name}")
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_INTERNAL_MODULES))

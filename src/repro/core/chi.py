@@ -37,9 +37,8 @@ from repro.crypto.fingerprint import fingerprint
 from repro.crypto.keys import KeyInfrastructure
 from repro.dist.broadcast import robust_flood
 from repro.dist.sync import RoundSchedule
-from repro.net.packet import Packet
-from repro.net.queues import REDParams, red_packet_drop_probability
-from repro.net.router import MonitorTap, Network, Router
+from repro.net import MonitorTap, Network, Packet, REDParams, Router
+from repro.net.queues import red_packet_drop_probability
 
 
 def _phi(x: float) -> float:
@@ -227,6 +226,10 @@ class QueueValidator:
         self._out_credits: Dict[int, int] = {}
         self._added: Dict[int, int] = {}
         self.timeline: List[Tuple[float, float]] = [(0.0, 0.0)]
+        # Times column of ``timeline``, kept in lockstep so q_pred_at
+        # can bisect without rebuilding the list per query (calibration
+        # queries it once per truth sample).
+        self._timeline_times: List[float] = [0.0]
         self.unmatched_out = 0
         self.unmatched_records: List[TrafficRecord] = []
         self.processed_arrivals = 0
@@ -267,6 +270,7 @@ class QueueValidator:
                     self.unmatched_out += 1
                     self.unmatched_records.append(rec)
                 self.timeline.append((when, self.q_pred))
+                self._timeline_times.append(when)
             else:  # arrival (kind == 0)
                 self.processed_arrivals += 1
                 if self._out_credits.get(rec.fp, 0) > 0:
@@ -274,6 +278,7 @@ class QueueValidator:
                     self.q_pred += rec.size
                     self._added[rec.fp] = self._added.get(rec.fp, 0) + 1
                     self.timeline.append((when, self.q_pred))
+                    self._timeline_times.append(when)
                 else:
                     congestive = self.q_pred + rec.size > self.queue_limit
                     confidence = 0.0
@@ -289,8 +294,10 @@ class QueueValidator:
         return verdicts
 
     def q_pred_at(self, when: float) -> float:
-        times = [t for t, _ in self.timeline]
-        idx = bisect_right(times, when) - 1
+        if len(self._timeline_times) != len(self.timeline):
+            # External code appended to ``timeline`` directly; resync.
+            self._timeline_times = [t for t, _ in self.timeline]
+        idx = bisect_right(self._timeline_times, when) - 1
         if idx < 0:
             return 0.0
         return self.timeline[idx][1]

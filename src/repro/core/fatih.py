@@ -31,9 +31,8 @@ from repro.core.segments import monitored_segments_pik2
 from repro.core.summaries import PathOracle, SegmentMonitor, SummaryPolicy
 from repro.crypto.keys import KeyInfrastructure
 from repro.dist.sync import ClockModel, RoundSchedule
-from repro.net.packet import Packet, PacketKind
-from repro.net.router import Network
-from repro.net.routing import LinkStateRouting, compute_all_paths
+from repro.net import LinkStateRouting, Network, Packet, PacketKind
+from repro.net.routing import compute_all_paths
 
 
 @dataclass

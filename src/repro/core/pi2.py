@@ -33,7 +33,7 @@ from repro.crypto.keys import KeyInfrastructure
 from repro.dist.broadcast import robust_flood
 from repro.dist.consensus import Equivocator, FaultyBehavior, Silent, SignedConsensus
 from repro.dist.sync import RoundSchedule
-from repro.net.router import Network
+from repro.net import Network
 
 # A reporter maps the honest summary pair to what the router actually
 # claims: the honest value, an altered one, a pair (equivocation), or

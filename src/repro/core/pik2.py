@@ -31,7 +31,7 @@ from repro.crypto.keys import KeyInfrastructure
 from repro.crypto.signatures import Signed
 from repro.dist.broadcast import robust_flood
 from repro.dist.sync import RoundSchedule
-from repro.net.router import Network
+from repro.net import Network
 
 
 @dataclass

@@ -29,9 +29,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.fingerprint import fingerprint
-from repro.net.packet import Packet
-from repro.net.queues import REDQueue, REDParams
-from repro.net.router import MonitorTap, Network, Router
+from repro.net import (
+    MonitorTap,
+    Network,
+    Packet,
+    REDParams,
+    REDQueue,
+    Router,
+)
 
 
 @dataclass

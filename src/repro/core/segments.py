@@ -21,7 +21,7 @@ import statistics
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.net.topology import Topology
+from repro.net import Topology
 
 PathSegment = Tuple[str, ...]
 

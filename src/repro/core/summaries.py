@@ -38,8 +38,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.crypto.fingerprint import FingerprintSampler, fingerprint
 from repro.dist.sync import ClockModel, RoundSchedule
-from repro.net.packet import Packet
-from repro.net.router import MonitorTap, Network, Router
+from repro.net import MonitorTap, Network, Packet, Router
 
 PathSegment = Tuple[str, ...]
 
@@ -275,9 +274,12 @@ class SegmentMonitor(MonitorTap):
         # segment -> member -> role bookkeeping
         self._segments: Set[PathSegment] = set()
         self._monitors: Dict[PathSegment, Set[str]] = {}
-        # watch index: (router, neighbor, direction) -> list of segments
-        self._send_watch: Dict[Tuple[str, str], List[PathSegment]] = defaultdict(list)
-        self._recv_watch: Dict[Tuple[str, str], List[PathSegment]] = defaultdict(list)
+        # Watch index: (router, neighbor) -> [(segment, member position)].
+        # The member's index inside the segment is fixed at watch time, so
+        # it is precomputed here instead of ``segment.index(...)`` per
+        # packet on the tap hot path.
+        self._send_watch: Dict[Tuple[str, str], List[Tuple[PathSegment, int]]] = defaultdict(list)
+        self._recv_watch: Dict[Tuple[str, str], List[Tuple[PathSegment, int]]] = defaultdict(list)
         # (segment, router, direction, round) -> SummaryBuilder
         self._builders: Dict[Tuple[PathSegment, str, str, int], SummaryBuilder] = {}
 
@@ -294,9 +296,9 @@ class SegmentMonitor(MonitorTap):
             if router not in members:
                 continue
             if i + 1 < len(segment):
-                self._send_watch[(router, segment[i + 1])].append(segment)
+                self._send_watch[(router, segment[i + 1])].append((segment, i))
             if i > 0:
-                self._recv_watch[(router, segment[i - 1])].append(segment)
+                self._recv_watch[(router, segment[i - 1])].append((segment, i))
 
     @property
     def segments(self) -> Set[PathSegment]:
@@ -319,36 +321,49 @@ class SegmentMonitor(MonitorTap):
         fp = fingerprint(packet, self.fingerprint_key)
         builder.observe(fp, packet.size, local)
 
+    @staticmethod
+    def _segment_at(path: Tuple[str, ...], segment: PathSegment) -> Optional[int]:
+        """First index of ``segment`` as a contiguous run of ``path``."""
+        seg_len = len(segment)
+        for i in range(len(path) - seg_len + 1):
+            if path[i:i + seg_len] == segment:
+                return i
+        return None
+
     def on_transmit(self, router: Router, out_nbr: str, packet: Packet,
                     time: float) -> None:
-        for segment in self._send_watch.get((router.name, out_nbr), ()):
-            idx = self.oracle.traverses(packet, segment)
-            if idx is None:
-                continue
-            pos = segment.index(router.name)
+        watches = self._send_watch.get((router.name, out_nbr))
+        if not watches:
+            return
+        # One oracle lookup per packet; each watch entry carries the
+        # member's precomputed position inside the segment.
+        path = self.oracle.packet_path(packet)
+        if path is None:
+            return
+        name = router.name
+        for segment, pos in watches:
+            idx = self._segment_at(path, segment)
             # The packet must actually be at our position of the segment.
-            path = self.oracle.packet_path(packet)
-            if path is None or path[idx + pos] != router.name:
+            if idx is None or path[idx + pos] != name:
                 continue
-            self._record(segment, router.name, "sent", packet, time)
+            self._record(segment, name, "sent", packet, time)
 
     def on_receive(self, router: Router, from_nbr: str, packet: Packet,
                    time: float) -> None:
-        watches = self._recv_watch.get((router.name, from_nbr), ())
+        watches = self._recv_watch.get((router.name, from_nbr))
         if not watches:
+            return
+        path = self.oracle.packet_path(packet)
+        if path is None:
             return
         link = self.network.topology.link(from_nbr, router.name)
         left_upstream = time - link.delay
-        for segment in watches:
-            idx = self.oracle.traverses(packet, segment)
-            if idx is None:
+        name = router.name
+        for segment, pos in watches:
+            idx = self._segment_at(path, segment)
+            if idx is None or path[idx + pos] != name:
                 continue
-            pos = segment.index(router.name)
-            path = self.oracle.packet_path(packet)
-            if path is None or path[idx + pos] != router.name:
-                continue
-            self._record(segment, router.name, "received", packet,
-                         left_upstream)
+            self._record(segment, name, "received", packet, left_upstream)
 
     # -- retrieval -------------------------------------------------------------
     def summary(self, segment: PathSegment, router: str, direction: str,

@@ -20,30 +20,49 @@ from repro.baselines.watchers import (
     WatchersFlow,
     WatchersProtocol,
 )
-from repro.core.chi import single_loss_confidence
-from repro.core.fatih import FatihConfig, FatihSystem, RTTMonitor
-from repro.core.qmodel import appenzeller_loss_probability, appenzeller_sigma
-from repro.core.segments import (
+from repro.core import (
+    FatihConfig,
+    FatihSystem,
+    PathOracle,
+    Pi2Config,
+    PiK2Config,
+    ProtocolPi2,
+    ProtocolPiK2,
+    SegmentMonitor,
+    SummaryPolicy,
+    accuracy_report,
     all_routing_paths,
+    appenzeller_loss_probability,
+    appenzeller_sigma,
+    completeness_report,
     monitored_segments_pi2,
     monitored_segments_pik2,
-    pik2_counter_count,
     pr_statistics,
-    watchers_counter_count,
 )
+from repro.core.chi import single_loss_confidence
+from repro.core.fatih import RTTMonitor
+from repro.core.segments import pik2_counter_count, watchers_counter_count
+from repro.crypto.keys import KeyInfrastructure
+from repro.dist.sync import RoundSchedule
 from repro.eval.metrics import DetectionMetrics, score_round_findings
 from repro.eval.results import EvalResultBase, register_result_type
 from repro.eval.scenarios import build_droptail_scenario, build_red_scenario
-from repro.net.adversary import (
+from repro.net import (
+    CBRSource,
+    CombinedCompromise,
     DropFlowAttack,
+    LinkStateRouting,
+    MBPS,
+    Network,
     QueueConditionalDropAttack,
     REDAverageConditionalDropAttack,
     SynDropAttack,
+    Topology,
+    abilene,
+    chain,
+    install_static_routes,
 )
-from repro.net.routing import LinkStateRouting
-from repro.net.router import Network
-from repro.net.topology import MBPS, Topology, abilene, chain, ebone_like, sprintlink_like
-from repro.net.traffic import CBRSource
+from repro.net.topology import ebone_like, sprintlink_like
 
 
 def _topology(name: str) -> Topology:
@@ -236,7 +255,7 @@ def fig5_7_fatih(
     """Fig 5.7: OSPF convergence, attack at Kansas City, detection,
     alert flooding, SPF delay+hold, rerouting; New York <-> Sunnyvale RTT
     goes from ~50 ms to ~56 ms."""
-    from repro.net.adversary import DropFractionAttack
+    from repro.net import DropFractionAttack
 
     topo = abilene(bandwidth=10 * MBPS)
     net = Network(topo, proc_jitter=0.0002)
@@ -770,6 +789,138 @@ def fig6_16_red_attack5(seed: int = 0) -> ScenarioResult:
         "red-attack5-syn",
         lambda s: SynDropAttack("vsink", seed=seed + 1),
         with_connector=True,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Packet-plane protocol benches — Π2 / Πk+2 / tcp-heavy / adversary-heavy
+# ---------------------------------------------------------------------------
+
+@register_result_type
+@dataclass
+class ProtocolBenchResult(EvalResultBase):
+    """Result of a seeded packet-plane protocol run (Π2 / Πk+2).
+
+    Unlike the analytic ``fig5_2``/``fig5_4`` path-enumeration curves,
+    these runs drive the full simulator — sources, queues, monitor taps,
+    summary exchange and detector — so they double as sweepable golden
+    workloads for the bench suite.
+    """
+
+    name: str
+    protocol: str  # "pi2" | "pik2"
+    bad_router: str
+    total_suspicions: int
+    accurate: bool
+    complete: bool
+    precision: int
+    sim_events: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "protocol": self.protocol,
+            "bad_router": self.bad_router,
+            "total_suspicions": self.total_suspicions,
+            "accurate": self.accurate,
+            "complete": self.complete,
+            "precision": self.precision,
+            "sim_events": self.sim_events,
+            "extra": dict(self.extra),
+        }
+
+
+def _run_protocol_bench(name: str, protocol_name: str, *,
+                        seed: int = 0,
+                        bad_router: str = "r3",
+                        fraction: float = 0.5,
+                        rate_bps: int = 600_000,
+                        duration: float = 4.0,
+                        end: float = 7.0) -> ProtocolBenchResult:
+    net = Network(chain(6, bandwidth=10 * MBPS, delay=0.001))
+    paths = install_static_routes(net)
+    oracle = PathOracle(paths)
+    schedule = RoundSchedule(tau=1.0)
+    keys = KeyInfrastructure()
+    monitor = SegmentMonitor(net, oracle, schedule,
+                             policy=SummaryPolicy.CONTENT)
+    net.add_tap(monitor)
+    enum = (monitored_segments_pi2 if protocol_name == "pi2"
+            else monitored_segments_pik2)
+    segments = set()
+    for segs in enum([tuple(p) for p in paths.values()], k=1).values():
+        segments |= segs
+    if protocol_name == "pi2":
+        protocol = ProtocolPi2(net, monitor, segments, keys, schedule,
+                               config=Pi2Config(k=1))
+        max_precision = 2
+    else:
+        protocol = ProtocolPiK2(net, monitor, segments, keys, schedule,
+                                config=PiK2Config(k=1))
+        max_precision = 3
+    protocol.schedule_rounds(0, 3)
+    net.routers[bad_router].compromise = DropFlowAttack(
+        ["f1", "f2"], fraction=fraction, seed=seed + 1)
+    CBRSource(net, "r1", "r6", "f1", rate_bps=rate_bps, duration=duration)
+    CBRSource(net, "r6", "r1", "f2", rate_bps=rate_bps, duration=duration)
+    net.run(end)
+    acc = accuracy_report(protocol.states, {bad_router},
+                          max_precision=max_precision)
+    comp = completeness_report(protocol.states, {bad_router}, mode="FI")
+    return ProtocolBenchResult(
+        name=name,
+        protocol=protocol_name,
+        bad_router=bad_router,
+        total_suspicions=acc.total_suspicions,
+        accurate=acc.accurate,
+        complete=comp.complete,
+        precision=acc.precision,
+        sim_events=net.sim.events_dispatched,
+    )
+
+
+def pi2_bench(seed: int = 0, bad_router: str = "r3",
+              fraction: float = 0.5,
+              rate_bps: int = 600_000) -> ProtocolBenchResult:
+    """Seeded Π2 packet-plane run on a 6-router chain (Appendix B)."""
+    return _run_protocol_bench("pi2-bench", "pi2", seed=seed,
+                               bad_router=bad_router, fraction=fraction,
+                               rate_bps=rate_bps)
+
+
+def pik2_bench(seed: int = 0, bad_router: str = "r3",
+               fraction: float = 0.5,
+               rate_bps: int = 600_000) -> ProtocolBenchResult:
+    """Seeded Πk+2 packet-plane run on a 6-router chain (Appendix B)."""
+    return _run_protocol_bench("pik2-bench", "pik2", seed=seed,
+                               bad_router=bad_router, fraction=fraction,
+                               rate_bps=rate_bps)
+
+
+def tcp_heavy_bench(seed: int = 0, n_sources: int = 6,
+                    tau: float = 2.0) -> ScenarioResult:
+    """TCP-heavy droptail workload: many sources + connection setup,
+    congestion only — stresses queues and the χ monitor with no attack."""
+    return _run_droptail("tcp-heavy", None, seed=seed, tau=tau,
+                         n_sources=n_sources, with_connector=True)
+
+
+def adversary_heavy_bench(seed: int = 0, n_sources: int = 8,
+                          avg_threshold: float = 45_000) -> ScenarioResult:
+    """Adversary-heavy RED workload: a combined RED-conditional dropper
+    plus SYN-dropper — stresses the attack hooks on every packet."""
+    return _run_red(
+        "adversary-heavy",
+        lambda s: CombinedCompromise(
+            REDAverageConditionalDropAttack(["tcp1", "tcp2"],
+                                            avg_threshold=avg_threshold,
+                                            seed=seed + 1),
+            SynDropAttack("vsink", seed=seed + 2),
+        ),
+        with_connector=True,
+        end=200.0, monitor_rounds=(1, 39),
         seed=seed,
     )
 

@@ -87,6 +87,15 @@ def report_overhead(result) -> List[str]:
     return result.rows()
 
 
+def report_protocol_bench(r) -> List[str]:
+    return [
+        f"{r.protocol} on {r.bad_router}: "
+        f"suspicions={r.total_suspicions} accurate={r.accurate} "
+        f"complete={r.complete} precision={r.precision}",
+        f"simulator events: {r.sim_events}",
+    ]
+
+
 def report_baselines(demos) -> List[str]:
     return [f"{demo.name}: {demo.values}" for demo in demos]
 
@@ -318,6 +327,17 @@ for _spec in (
     ExperimentSpec("chi", ex.chi_detection_bench, report_scenario,
                    description="bench: small, fast χ detection scenario "
                                "(CI smoke / profiling)"),
+    ExperimentSpec("pi2_bench", ex.pi2_bench, report_protocol_bench,
+                   description="bench: Π2 packet-plane run, 6-router chain"),
+    ExperimentSpec("pik2_bench", ex.pik2_bench, report_protocol_bench,
+                   description="bench: Πk+2 packet-plane run, 6-router chain"),
+    ExperimentSpec("tcp_heavy", ex.tcp_heavy_bench, report_scenario,
+                   description="bench: TCP-heavy droptail congestion, "
+                               "no attack"),
+    ExperimentSpec("adversary_heavy", ex.adversary_heavy_bench,
+                   report_scenario,
+                   description="bench: RED with combined conditional-drop "
+                               "+ SYN-drop adversary"),
     ExperimentSpec("fig6_7", ex.fig6_7_attack2, report_scenario,
                    description="Fig 6.7: drop selected flow at queue 90%"),
     ExperimentSpec("fig6_8", ex.fig6_8_attack3, report_scenario,

@@ -19,14 +19,18 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.chi import ChiConfig, ProtocolChi
-from repro.core.summaries import PathOracle
+from repro.core import ChiConfig, PathOracle, ProtocolChi
 from repro.dist.sync import RoundSchedule
-from repro.net.queues import DropTailQueue, REDParams, REDQueue
-from repro.net.router import Network
-from repro.net.routing import install_static_routes
-from repro.net.tcp import TCPFlow
-from repro.net.topology import MBPS, Topology
+from repro.net import (
+    DropTailQueue,
+    MBPS,
+    Network,
+    REDParams,
+    REDQueue,
+    TCPFlow,
+    Topology,
+    install_static_routes,
+)
 
 
 class RepeatedConnector:

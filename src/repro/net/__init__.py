@@ -6,14 +6,28 @@ router forwarding hop-by-hop from a local forwarding table computed by a
 link-state routing protocol.  Output interfaces are buffered by droptail or
 RED queues; monitors can tap enqueue/transmit/drop/receive events to build
 the traffic summaries that the detection protocols consume.
+
+The supported surface is exactly ``__all__``; the submodules behind it
+are internal.  Reaching them through the package (``repro.net.events``,
+``from repro.net import events``) still works but emits a
+:class:`DeprecationWarning` naming the supported import path, and the
+``API001`` lint rule flags in-repo imports that bypass the package for
+names it already exports.
 """
+
+import importlib as _importlib
+import warnings as _warnings
 
 from repro.net.events import Simulator, Event
 from repro.net.packet import Packet, PacketKind
-from repro.net.topology import Topology, Link, abilene, chain, diamond
-from repro.net.queues import DropTailQueue, REDQueue, QueueEvent
+from repro.net.topology import MBPS, Topology, Link, abilene, chain, diamond
+from repro.net.queues import DropTailQueue, REDParams, REDQueue, QueueEvent
 from repro.net.router import ForwardAction, MonitorTap, Network, Router
-from repro.net.routing import LinkStateRouting, ForwardingTable
+from repro.net.routing import (
+    LinkStateRouting,
+    ForwardingTable,
+    install_static_routes,
+)
 from repro.net.traffic import CBRSource, PoissonSource, OnOffSource
 from repro.net.tcp import TCPFlow
 from repro.net.adversary import (
@@ -38,14 +52,17 @@ __all__ = [
     "Event",
     "Packet",
     "PacketKind",
+    "MBPS",
     "Topology",
     "Link",
     "abilene",
     "chain",
     "diamond",
     "DropTailQueue",
+    "REDParams",
     "REDQueue",
     "QueueEvent",
+    "install_static_routes",
     "Router",
     "Network",
     "MonitorTap",
@@ -71,3 +88,40 @@ __all__ = [
     "FabricateAttack",
     "MisrouteAttack",
 ]
+
+#: Internal implementation modules, deprecated as import targets.
+_INTERNAL_MODULES = (
+    "adversary",
+    "events",
+    "packet",
+    "queues",
+    "router",
+    "routing",
+    "tcp",
+    "topology",
+    "traffic",
+)
+
+# Drop the submodule bindings the re-exports above created on the
+# package, so attribute access routes through __getattr__ (PEP 562)
+# and carries a deprecation warning.
+for _name in _INTERNAL_MODULES:
+    globals().pop(_name, None)
+del _name
+
+
+def __getattr__(name: str):
+    if name in _INTERNAL_MODULES:
+        _warnings.warn(
+            f"repro.net.{name} is an internal module; import the "
+            f"supported names from the repro.net package instead "
+            f"(see repro.net.__all__)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _importlib.import_module(f"repro.net.{name}")
+    raise AttributeError(f"module 'repro.net' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_INTERNAL_MODULES))

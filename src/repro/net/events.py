@@ -8,35 +8,68 @@ The engine is deliberately minimal: callers schedule callbacks at absolute
 or relative times and the :meth:`Simulator.run` loop dispatches them in
 timestamp order.  Ties are broken by insertion order so runs are fully
 deterministic for a fixed seed.
+
+Hot-path notes: the heap stores flat ``(time, seq, event)`` tuples so
+``heapq`` compares plain floats/ints instead of calling a rich-comparison
+method per sift step, and :class:`Event` is a ``__slots__`` class — both
+measurably matter at millions of events per run.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.obs.record import recorder
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so that simultaneous events fire in
-    the order they were scheduled.
+    Events order by ``(time, seq)`` so that simultaneous events fire in
+    the order they were scheduled.  (Inside :class:`Simulator` that key
+    lives in the heap entry itself; the comparison operators here keep
+    the historical dataclass ``order=True`` contract for external code.)
     """
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None],
+                 args: tuple = (), cancelled: bool = False) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the dispatcher skips it."""
         self.cancelled = True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.seq) == (other.time, other.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.seq) <= (other.time, other.seq)
+
+    def __gt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) > (other.time, other.seq)
+
+    def __ge__(self, other: "Event") -> bool:
+        return (self.time, self.seq) >= (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}{flag})"
+
+
+#: One heap entry: ``(time, seq, event)``.
+_HeapEntry = Tuple[float, int, Event]
 
 
 class Simulator:
@@ -51,17 +84,33 @@ class Simulator:
     ['b', 'a']
     """
 
+    #: Process-wide cumulative dispatch count across every Simulator
+    #: instance.  ``repro.bench`` reads the delta around a workload run
+    #: to get events/sec without instrumenting (or slowing) the loop.
+    dispatched_total: int = 0
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[_HeapEntry] = []
+        self._seq = 0
         self.now: float = 0.0
         self._running = False
+        #: Cumulative count of events dispatched by this simulator across
+        #: all :meth:`run` calls — the denominator of every events/sec
+        #: benchmark (see :mod:`repro.bench`).
+        self.events_dispatched: int = 0
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        # Inlined schedule_at: one call frame per event matters at ~3
+        # schedules per packet (delay >= 0 makes the past-check moot).
+        when = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, fn, args)
+        heapq.heappush(self._heap, (when, seq, event))
+        return event
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``when``."""
@@ -69,15 +118,18 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {when} before current time {self.now}"
             )
-        event = Event(when, next(self._counter), fn, args)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, fn, args)
+        heapq.heappush(self._heap, (when, seq, event))
         return event
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next pending event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Dispatch events in order.
@@ -88,23 +140,27 @@ class Simulator:
         advanced to ``until`` even if no event fired exactly there.
         """
         dispatched = 0
+        heap = self._heap
+        heappop = heapq.heappop
         self._running = True
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and dispatched >= max_events:
                     break
-                event = self._heap[0]
+                when, _seq, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and when > until:
                     break
-                heapq.heappop(self._heap)
-                self.now = event.time
+                heappop(heap)
+                self.now = when
                 event.fn(*event.args)
                 dispatched += 1
         finally:
             self._running = False
+            self.events_dispatched += dispatched
+            Simulator.dispatched_total += dispatched
         if until is not None and until > self.now:
             self.now = until
         rec = recorder()
@@ -116,4 +172,4 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for _, _, e in self._heap if not e.cancelled)

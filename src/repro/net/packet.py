@@ -6,13 +6,20 @@ number, payload) and mutable per-hop fields (TTL, header checksum) that a
 correct router legitimately rewrites.  Fingerprints (see
 :mod:`repro.crypto.fingerprint`) must be computed over the invariant part
 only — the paper discusses exactly this subtlety in §7.4.2.
+
+``Packet`` is a ``__slots__`` class on the simulator's hottest allocation
+path: every CBR/TCP send, ACK and control message allocates one, and every
+hop touches its checksum.  The header-field contribution to the checksum
+is summed once (``_hdr_sum``) since those fields are invariant along the
+path; per-hop recomputation then reduces to one add and one mask, which is
+arithmetically identical to the per-character loop because addition mod
+2**16 can be masked once at the end.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 _packet_ids = itertools.count(1)
@@ -31,8 +38,15 @@ class PacketKind(enum.Enum):
 
 DEFAULT_TTL = 64
 
+#: Field order of ``__eq__``/``__repr__`` and keyword construction —
+#: the historical dataclass field list.
+_FIELDS = (
+    "src", "dst", "size", "kind", "flow_id", "seq", "payload", "ttl",
+    "checksum", "uid", "created_at", "fragment_of", "fragment_index",
+    "last_fragment", "hops", "fabricated_by",
+)
 
-@dataclass
+
 class Packet:
     """A network packet.
 
@@ -46,31 +60,66 @@ class Packet:
     content validation detects.
     """
 
-    src: str
-    dst: str
-    size: int = 1000
-    kind: PacketKind = PacketKind.DATA
-    flow_id: str = ""
-    seq: int = 0
-    payload: bytes = b""
-    ttl: int = DEFAULT_TTL
-    checksum: int = 0
-    uid: int = field(default_factory=lambda: next(_packet_ids))
-    created_at: float = 0.0
-    # Fragmentation (§7.4.4).  A fragment carries its original packet's
-    # uid; its own uid (hence fingerprint) is fresh — which is exactly why
-    # in-network fragmentation breaks pre-computed upstream fingerprints.
-    fragment_of: Optional[int] = None
-    fragment_index: int = 0
-    last_fragment: bool = True
-    # Bookkeeping used by the simulator and experiments (not "on the wire").
-    hops: Tuple[str, ...] = ()
-    fabricated_by: Optional[str] = None
+    __slots__ = _FIELDS + ("_hdr_sum", "_fp_cache")
 
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size}")
-        self.checksum = self.compute_checksum()
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: int = 1000,
+        kind: PacketKind = PacketKind.DATA,
+        flow_id: str = "",
+        seq: int = 0,
+        payload: bytes = b"",
+        ttl: int = DEFAULT_TTL,
+        checksum: int = 0,
+        uid: Optional[int] = None,
+        created_at: float = 0.0,
+        # Fragmentation (§7.4.4).  A fragment carries its original
+        # packet's uid; its own uid (hence fingerprint) is fresh — which
+        # is exactly why in-network fragmentation breaks pre-computed
+        # upstream fingerprints.
+        fragment_of: Optional[int] = None,
+        fragment_index: int = 0,
+        last_fragment: bool = True,
+        # Bookkeeping used by the simulator and experiments (not "on the
+        # wire").
+        hops: Tuple[str, ...] = (),
+        fabricated_by: Optional[str] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.kind = kind
+        self.flow_id = flow_id
+        self.seq = seq
+        self.payload = payload
+        self.ttl = ttl
+        self.uid = next(_packet_ids) if uid is None else uid
+        self.created_at = created_at
+        self.fragment_of = fragment_of
+        self.fragment_index = fragment_index
+        self.last_fragment = last_fragment
+        self.hops = hops
+        self.fabricated_by = fabricated_by
+        acc = 0
+        for part in (src, dst, flow_id):
+            for ch in part:
+                acc += ord(ch)
+        self._hdr_sum = acc + seq + size
+        self.checksum = (self._hdr_sum + ttl) & 0xFFFF
+        self._fp_cache = None  # (key, invariant tuple, digest) — see crypto
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in _FIELDS)
+
+    # Like the historical eq=True dataclass: equality without hashing.
+    __hash__ = None  # type: ignore[assignment]
 
     def invariant_fields(self) -> tuple:
         """The end-to-end invariant identity of this packet.
@@ -95,17 +144,13 @@ class Packet:
 
     def compute_checksum(self) -> int:
         """A toy internet-checksum stand-in over header fields + TTL."""
-        acc = self.ttl
-        for part in (self.src, self.dst, self.flow_id):
-            for ch in part:
-                acc = (acc + ord(ch)) & 0xFFFF
-        acc = (acc + self.seq + self.size) & 0xFFFF
-        return acc
+        return (self._hdr_sum + self.ttl) & 0xFFFF
 
     def hop(self, router_name: str) -> None:
         """Apply correct per-hop mutation: decrement TTL, fix checksum."""
-        self.ttl -= 1
-        self.checksum = self.compute_checksum()
+        ttl = self.ttl - 1
+        self.ttl = ttl
+        self.checksum = (self._hdr_sum + ttl) & 0xFFFF
         self.hops = self.hops + (router_name,)
 
     @property

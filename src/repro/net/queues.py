@@ -30,16 +30,37 @@ class DropReason(enum.Enum):
     TTL_EXPIRED = "ttl_expired"
 
 
-@dataclass
 class QueueEvent:
-    """One observable queue transition, as seen by a monitor tap."""
+    """One observable queue transition, as seen by a monitor tap.
 
-    kind: str  # "enqueue" | "dequeue" | "drop"
-    time: float
-    packet: Packet
-    occupancy: int  # bytes queued after the event
-    reason: Optional[DropReason] = None
-    drop_prob: float = 0.0  # RED drop probability in force at the event
+    A ``__slots__`` class: one is allocated per enqueue/dequeue/drop on
+    every monitored interface, which puts it on the simulator hot path.
+    """
+
+    __slots__ = ("kind", "time", "packet", "occupancy", "reason",
+                 "drop_prob")
+
+    def __init__(self, kind: str, time: float, packet: Packet,
+                 occupancy: int, reason: Optional[DropReason] = None,
+                 drop_prob: float = 0.0) -> None:
+        self.kind = kind  # "enqueue" | "dequeue" | "drop"
+        self.time = time
+        self.packet = packet
+        self.occupancy = occupancy  # bytes queued after the event
+        self.reason = reason
+        self.drop_prob = drop_prob  # RED drop prob in force at the event
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in self.__slots__)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueueEvent({self.kind!r}, t={self.time}, "
+                f"occ={self.occupancy}, reason={self.reason})")
 
 
 class DropTailQueue:
@@ -49,6 +70,9 @@ class DropTailQueue:
     purely deterministic: a packet is dropped iff it does not fit, which
     is what makes χ's queue prediction exact for droptail (§6.2.1).
     """
+
+    __slots__ = ("limit_bytes", "_packets", "occupancy", "drops",
+                 "enqueues")
 
     def __init__(self, limit_bytes: int = 64_000) -> None:
         if limit_bytes <= 0:
@@ -125,6 +149,13 @@ def red_drop_probability(avg: float, params: REDParams, count: int = -1) -> floa
     packet faced (Fig 6.10).
     """
     params.validate()
+    return _red_drop_probability_unchecked(avg, params, count)
+
+
+def _red_drop_probability_unchecked(avg: float, params: REDParams,
+                                    count: int) -> float:
+    # The per-arrival path: REDQueue validates its params once at
+    # construction, so the live queue skips re-validating per packet.
     if avg < params.min_th:
         return 0.0
     if avg >= params.max_th:
@@ -163,6 +194,9 @@ class REDQueue:
     validation (§6.5.2) must reason about drop probabilities, not
     outcomes.
     """
+
+    __slots__ = ("limit_bytes", "params", "rng", "_packets", "occupancy",
+                 "avg", "count", "_idle_since", "drops", "enqueues")
 
     def __init__(
         self,
@@ -208,8 +242,10 @@ class REDQueue:
 
     def offer(self, packet: Packet, now: float) -> Tuple[bool, Optional[DropReason], float]:
         self.update_average(now)
-        prob = red_packet_drop_probability(self.avg, self.params, self.count,
-                                           packet.size)
+        params = self.params
+        prob = _red_drop_probability_unchecked(self.avg, params, self.count)
+        if params.byte_mode and 0.0 < prob < 1.0:
+            prob = min(1.0, prob * packet.size / params.mean_pktsize)
         if self.occupancy + packet.size > self.limit_bytes:
             self.drops += 1
             self.count = -1

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.events import Simulator
@@ -31,8 +32,14 @@ from repro.net.queues import DropReason, DropTailQueue
 from repro.net.topology import Link, Topology
 
 
+@lru_cache(maxsize=65536)
 def _stable_hash(text: str) -> int:
-    """Process-independent 32-bit hash (``hash()`` is salted per run)."""
+    """Process-independent 32-bit hash (``hash()`` is salted per run).
+
+    Cached: the ECMP path hashes the same ``src|dst|flow`` triple for
+    every packet of a flow, so the sha256 runs once per flow instead of
+    once per packet.
+    """
     return int.from_bytes(hashlib.sha256(text.encode()).digest()[:4], "big")
 
 
@@ -373,11 +380,13 @@ class Network:
         self.topology.link(a, b).up = False
         if bidirectional:
             self.topology.link(b, a).up = False
+        self.topology.bump_version()
 
     def restore_link(self, a: str, b: str, bidirectional: bool = True) -> None:
         self.topology.link(a, b).up = True
         if bidirectional:
             self.topology.link(b, a).up = True
+        self.topology.bump_version()
 
     # -- control plane -----------------------------------------------------
     def send_control(

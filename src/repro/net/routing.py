@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.net.router import Network
 from repro.net.topology import Topology
@@ -35,6 +36,116 @@ PathSegment = Tuple[str, ...]
 
 class ForwardingTable(dict):
     """dst -> list of next hops.  A thin dict subclass for clarity."""
+
+
+# -- cached single-source SPF ----------------------------------------------
+#
+# Unconstrained shortest paths dominate route installation:
+# ``compute_all_paths`` used to run one Dijkstra per ordered (src, dst)
+# pair — O(n²) searches — and every LSA change made ``LinkStateRouting``
+# re-derive a router's whole table one destination at a time.  A single
+# source's Dijkstra already finalizes the identical path to *every*
+# destination (the per-pair variant merely stops early), so we run it
+# once per source and cache the tree, keyed on ``Topology.version`` so
+# any structural change invalidates it.  Suspicion-constrained searches
+# (forbidden windows) stay on the uncached per-pair path: their state
+# space depends on the suspicion set and they are rare by construction.
+
+_SpfKey = Tuple[str, Optional[FrozenSet[Tuple[str, str]]]]
+_spf_cache: "weakref.WeakKeyDictionary[Topology, Tuple[int, Dict[_SpfKey, Dict[str, List[str]]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _single_source_spf(
+    topology: Topology,
+    src: str,
+    link_up: Optional[Set[Tuple[str, str]]] = None,
+) -> Dict[str, List[str]]:
+    """Paths from ``src`` to every reachable router, no constraints.
+
+    Byte-compatible with :func:`shortest_path_avoiding` called per
+    destination: the same (window-)state space, neighbor order and
+    insertion-order tie-break, minus the early exit — a popped final
+    state's prev-chain is already finalized, so recording the first pop
+    per destination reproduces the per-pair result exactly.
+    """
+    start_state = (src,)
+    dist: Dict[Tuple[str, ...], float] = {start_state: 0.0}
+    prev: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Tuple[str, ...]]] = [(0.0, next(counter), start_state)]
+    finals: Dict[str, Tuple[str, ...]] = {}
+
+    while heap:
+        d, _, state = heapq.heappop(heap)
+        if d > dist.get(state, float("inf")):
+            continue
+        here = state[-1]
+        if here not in finals:
+            finals[here] = state
+        for nbr in topology.neighbors(here):
+            if link_up is not None and (here, nbr) not in link_up:
+                continue
+            if nbr in state:
+                continue
+            new_state = (state + (nbr,))[-2:]
+            cost = d + topology.link(here, nbr).metric
+            if cost < dist.get(new_state, float("inf")):
+                dist[new_state] = cost
+                prev[new_state] = state
+                heapq.heappush(heap, (cost, next(counter), new_state))
+
+    paths: Dict[str, List[str]] = {}
+    for dst, final in finals.items():
+        path_rev = [final[-1]]
+        state = final
+        while state in prev:
+            parent = prev[state]
+            path_rev.append(parent[-1])
+            state = parent
+        path = list(reversed(path_rev))
+        if path[0] != src:
+            path.insert(0, src)
+        cleaned = [path[0]]
+        for hop in path[1:]:
+            if hop != cleaned[-1]:
+                cleaned.append(hop)
+        paths[dst] = cleaned
+    return paths
+
+
+def spf_paths(
+    topology: Topology,
+    src: str,
+    link_up: Optional[Set[Tuple[str, str]]] = None,
+) -> Dict[str, List[str]]:
+    """Cached unconstrained shortest paths from ``src``.
+
+    The cache lives per :class:`Topology` instance (weakly referenced)
+    and is dropped wholesale when ``topology.version`` changes.  Returned
+    lists are fresh copies — callers may mutate them freely.
+    """
+    tree = _cached_tree(topology, src, link_up)
+    return {dst: list(path) for dst, path in tree.items()}
+
+
+def _cached_tree(
+    topology: Topology,
+    src: str,
+    link_up: Optional[Set[Tuple[str, str]]],
+) -> Dict[str, List[str]]:
+    key: _SpfKey = (src, None if link_up is None else frozenset(link_up))
+    cached = _spf_cache.get(topology)
+    if cached is None or cached[0] != topology.version:
+        cached = (topology.version, {})
+        _spf_cache[topology] = cached
+    trees = cached[1]
+    tree = trees.get(key)
+    if tree is None:
+        tree = _single_source_spf(topology, src, link_up)
+        trees[key] = tree
+    return tree
 
 
 def _forbidden_windows(
@@ -73,6 +184,11 @@ def shortest_path_avoiding(
     LSDB view).  Returns the router sequence or None if unreachable.
     """
     bad_links, windows = _forbidden_windows(suspicions)
+    if not bad_links and not windows:
+        # Unconstrained query: serve from the cached per-source SPF tree
+        # (identical result, shared across every destination).
+        path = _cached_tree(topology, src, link_up).get(dst)
+        return None if path is None else list(path)
     max_window = max((len(w) for w in windows), default=2)
     wsize = max(1, max_window - 1)  # how many trailing routers to remember
 

@@ -61,6 +61,15 @@ class Topology:
         self._node_set: set = set()
         self._links: Dict[Tuple[str, str], Link] = {}
         self._adjacency: Dict[str, List[str]] = {}
+        #: Monotone structural revision.  Bumped whenever the router/link
+        #: structure changes; :mod:`repro.net.routing` keys its SPF caches
+        #: on it.  Callers that mutate :class:`Link` fields that feed path
+        #: costs (``metric``) in place must call :meth:`bump_version`.
+        self.version: int = 0
+
+    def bump_version(self) -> None:
+        """Invalidate routing caches after an in-place link mutation."""
+        self.version += 1
 
     # -- construction -----------------------------------------------------
     def add_router(self, name: str) -> None:
@@ -69,6 +78,7 @@ class Topology:
         self._nodes.append(name)
         self._node_set.add(name)
         self._adjacency[name] = []
+        self.version += 1
 
     def add_link(
         self,
@@ -97,6 +107,7 @@ class Topology:
                 queue_limit=queue_limit, mtu=mtu,
             )
             self._adjacency[src].append(dst)
+        self.version += 1
 
     # -- queries ----------------------------------------------------------
     @property

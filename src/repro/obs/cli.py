@@ -8,9 +8,9 @@ Subcommands:
     when present.  ``--format json`` emits the aggregate as JSON.
 
 ``obs bench SWEEP_DIR --out BENCH_obs.json``
-    Distill a traced sweep into the headline benchmark numbers the
-    ROADMAP tracks: wall time, simulator events per second, cache hit
-    rate.
+    Deprecated alias for the sweep distillation that moved to
+    :mod:`repro.bench.sweep`; prefer ``python -m repro bench``.  Kept
+    for one release.
 """
 
 from __future__ import annotations
@@ -19,6 +19,7 @@ import argparse
 import glob
 import json
 import os
+import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import merge_snapshots
@@ -142,29 +143,18 @@ def format_summary(summary: dict) -> List[str]:
 
 
 def build_bench(sweep_dir: str) -> dict:
-    """Headline benchmark numbers for a traced sweep directory."""
-    summary = summarize_paths([sweep_dir])
-    telemetry = summary.get("telemetry") or {}
-    wall_s = float(telemetry.get("wall_s", 0.0))
-    if wall_s <= 0.0:
-        manifest_path = os.path.join(sweep_dir, "sweep.json")
-        if os.path.exists(manifest_path):
-            with open(manifest_path, "r", encoding="utf-8") as fh:
-                wall_s = float(json.load(fh).get("elapsed_s", 0.0))
-    sim_events = 0
-    events_metric = summary["metrics"].get("repro.net.sim.events")
-    if events_metric:
-        sim_events = int(events_metric.get("value", 0))
-    cache = telemetry.get("cache", {})
-    return {
-        "schema": "repro.obs.bench/v1",
-        "sweep_dir": os.path.abspath(sweep_dir),
-        "wall_s": wall_s,
-        "sim_events": sim_events,
-        "events_per_s": sim_events / wall_s if wall_s > 0 else 0.0,
-        "cache_hit_rate": float(cache.get("hit_rate", 0.0)),
-        "runs": telemetry.get("runs"),
-    }
+    """Deprecated alias for :func:`repro.bench.sweep.build_sweep_bench`."""
+    import warnings
+
+    # Imported lazily: repro.bench.sweep imports summarize_paths from
+    # this module, so a top-level import here would be circular.
+    from repro.bench.sweep import build_sweep_bench
+
+    warnings.warn(
+        "repro.obs.cli.build_bench is deprecated; use "
+        "repro.bench.sweep.build_sweep_bench instead",
+        DeprecationWarning, stacklevel=2)
+    return build_sweep_bench(sweep_dir)
 
 
 # -- argparse wiring --------------------------------------------------------
@@ -183,7 +173,9 @@ def add_obs_parser(subparsers) -> None:
     summarize.set_defaults(func=cmd_summarize)
 
     bench = obs_sub.add_parser(
-        "bench", help="emit headline bench numbers for a traced sweep")
+        "bench",
+        help="[deprecated: see `repro bench`] headline numbers for a "
+             "traced sweep")
     bench.add_argument("sweep_dir", metavar="SWEEP_DIR")
     bench.add_argument("--out", default="BENCH_obs.json",
                        help="output JSON path (default: %(default)s)")
@@ -201,7 +193,17 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    bench = build_bench(args.sweep_dir)
+    import warnings
+
+    from repro.bench.sweep import build_sweep_bench
+
+    warnings.warn(
+        "`repro obs bench` is deprecated; sweep distillation now lives "
+        "at `python -m repro bench` (repro.bench.sweep)",
+        DeprecationWarning, stacklevel=2)
+    print("note: `repro obs bench` is deprecated; see "
+          "`python -m repro bench --help`", file=sys.stderr)
+    bench = build_sweep_bench(args.sweep_dir)
     parent = os.path.dirname(args.out)
     if parent:
         os.makedirs(parent, exist_ok=True)

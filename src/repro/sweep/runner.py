@@ -32,8 +32,7 @@ import os
 import shutil
 import tempfile
 import time
-import warnings
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, replace
 from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
@@ -90,8 +89,6 @@ class SweepConfig:
     #: changes results, only observes them.
     trace_dir: Optional[str] = None
 
-
-_CONFIG_FIELDS = tuple(f.name for f in fields(SweepConfig))
 
 
 @dataclass
@@ -185,27 +182,6 @@ class SweepResult:
         return lines
 
 
-def _coerce_config(config: Optional[SweepConfig],
-                   legacy: Dict[str, object]) -> SweepConfig:
-    """Fold deprecated ``run_sweep(**kwargs)`` calls into a SweepConfig."""
-    if not legacy:
-        return config if config is not None else SweepConfig()
-    if config is not None:
-        raise TypeError(
-            "pass either a SweepConfig or legacy keyword arguments to "
-            "run_sweep, not both")
-    unknown = sorted(set(legacy) - set(_CONFIG_FIELDS))
-    if unknown:
-        raise TypeError(
-            f"run_sweep() got unexpected keyword argument(s) "
-            f"{', '.join(unknown)}")
-    warnings.warn(
-        "passing sweep settings as run_sweep keyword arguments is "
-        "deprecated; pass a repro.sweep.SweepConfig instead",
-        DeprecationWarning, stacklevel=3)
-    return SweepConfig(**legacy)  # type: ignore[arg-type]
-
-
 def _validated_inputs(experiment: str, config: SweepConfig, *,
                       progress: Progress):
     """Registry lookup + param/grid coercion + grid expansion."""
@@ -247,15 +223,17 @@ def run_sweep(
     *,
     executor: Optional[Executor] = None,
     progress: Progress = None,
-    **legacy,
 ) -> SweepResult:
     """Run ``experiment`` across (grid x seeds), cached and in parallel.
 
-    With ``executor=None`` the sweep runs in this process; otherwise it
-    is dispatched as shards through the executor and auto-merged (see
-    module docstring).
+    Settings travel exclusively in a :class:`SweepConfig` (the keyword
+    shim that once accepted ``run_sweep(name, seeds=...)`` has been
+    removed).  With ``executor=None`` the sweep runs in this process;
+    otherwise it is dispatched as shards through the executor and
+    auto-merged (see module docstring).
     """
-    config = _coerce_config(config, legacy)
+    if config is None:
+        config = SweepConfig()
     if executor is not None:
         if config.shard is not None:
             raise ValueError(

@@ -1,0 +1,117 @@
+"""The narrowed public API surface of ``repro.net`` / ``repro.core``.
+
+Two enforcement layers, both covered here:
+
+* runtime — PEP 562 package ``__getattr__`` raises a DeprecationWarning
+  when an internal submodule is reached through package attribute
+  access, while every ``__all__`` name keeps working;
+* lint — the API001 pass flags in-repo imports that bypass the package
+  surface (``from repro.net.packet import Packet``), and the shipped
+  ``src`` tree itself must be clean under it.
+"""
+
+import importlib
+import os
+import warnings
+
+import pytest
+
+import repro.core
+import repro.net
+from repro.analysis import lint_paths
+
+SRC = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+class TestRuntimeSurface:
+    def test_public_names_importable(self):
+        for name in repro.net.__all__:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert getattr(repro.net, name) is not None
+        for name in repro.core.__all__:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert getattr(repro.core, name) is not None
+
+    @pytest.mark.parametrize("package,submodule", [
+        (repro.net, "events"),
+        (repro.net, "queues"),
+        (repro.core, "chi"),
+        (repro.core, "summaries"),
+    ])
+    def test_internal_module_access_warns(self, package, submodule):
+        with pytest.warns(DeprecationWarning, match="internal module"):
+            module = getattr(package, submodule)
+        assert module.__name__ == f"{package.__name__}.{submodule}"
+
+    def test_from_package_import_submodule_warns(self):
+        with pytest.warns(DeprecationWarning, match="internal module"):
+            from repro.net import events  # noqa: F401
+
+    def test_direct_submodule_import_stays_quiet(self):
+        # ``from repro.net.events import Simulator`` is the accepted,
+        # visible way to depend on internals — no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            module = importlib.import_module("repro.net.events")
+        assert hasattr(module, "Simulator")
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no_such_thing"):
+            repro.net.no_such_thing
+        with pytest.raises(AttributeError, match="no_such_thing"):
+            repro.core.no_such_thing
+
+    def test_dir_lists_public_and_internal(self):
+        listing = dir(repro.net)
+        assert "Packet" in listing and "events" in listing
+        listing = dir(repro.core)
+        assert "ProtocolChi" in listing and "chi" in listing
+
+
+def _lint(tmp_path, source):
+    consumer = tmp_path / "consumer.py"
+    consumer.write_text("# repro-lint: module=myapp.consumer\n" + source)
+    report = lint_paths([str(consumer), os.path.join(SRC, "repro", "net")],
+                        rules=["API001"])
+    return [(f.rule, os.path.basename(f.path)) for f in report.new
+            if f.path == str(consumer)]
+
+
+class TestApi001:
+    def test_public_name_from_internal_module_flagged(self, tmp_path):
+        assert _lint(tmp_path,
+                     "from repro.net.packet import Packet\n") == [
+            ("API001", "consumer.py")]
+
+    def test_submodule_pull_from_package_flagged(self, tmp_path):
+        assert _lint(tmp_path, "from repro.net import queues\n") == [
+            ("API001", "consumer.py")]
+
+    def test_plain_internal_import_flagged(self, tmp_path):
+        assert _lint(tmp_path, "import repro.net.routing\n") == [
+            ("API001", "consumer.py")]
+
+    def test_package_surface_import_clean(self, tmp_path):
+        assert _lint(tmp_path,
+                     "from repro.net import Packet, Simulator\n") == []
+
+    def test_unexported_name_exempt(self, tmp_path):
+        # red_packet_drop_probability has no public re-export; pulling
+        # it from the implementation module is the only way and allowed.
+        assert _lint(
+            tmp_path,
+            "from repro.net.queues import red_packet_drop_probability\n",
+        ) == []
+
+    def test_rule_silent_without_package_in_run(self, tmp_path):
+        consumer = tmp_path / "consumer.py"
+        consumer.write_text("# repro-lint: module=myapp.consumer\n"
+                            "from repro.net.packet import Packet\n")
+        report = lint_paths([str(consumer)], rules=["API001"])
+        assert report.new == []
+
+    def test_shipped_tree_is_clean(self):
+        report = lint_paths([SRC], rules=["API001"])
+        assert [f.fingerprint() for f in report.new] == []

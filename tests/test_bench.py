@@ -1,0 +1,224 @@
+"""The ``repro bench`` regression harness.
+
+Covers the workload registry, the runner's BENCH.json history schema,
+A/B comparison semantics (including the CI gate's failure modes), and
+the CLI surface — ``python -m repro bench {run,compare,list}`` plus the
+deprecated ``repro obs bench`` alias.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench import (
+    BENCH_SCHEMA,
+    CompareReport,
+    Workload,
+    WORKLOADS,
+    append_run,
+    compare_runs,
+    get_workload,
+    latest_run,
+    load_history,
+    load_run,
+    run_suite,
+    run_workload,
+)
+from repro.bench.workloads import SUITES
+from repro.eval import registry
+from repro.eval.registry import ExperimentSpec
+
+TOY = "toy-bench-test"
+
+
+def toy_experiment(scale: float = 1.0, seed: int = 0):
+    rng = random.Random(seed)
+    return {"value": scale * rng.random(), "seed": seed}
+
+
+@pytest.fixture
+def toy_registered():
+    registry.register(ExperimentSpec(TOY, toy_experiment,
+                                     lambda r: [str(r)]))
+    yield TOY
+    registry.unregister(TOY)
+
+
+class TestWorkloadRegistry:
+    def test_required_workloads_registered(self):
+        expected = {"chi", "pi2", "pik2", "fatih", "tcp-heavy",
+                    "adversary-heavy"}
+        assert expected == set(WORKLOADS)
+
+    def test_reps_scale_with_suite(self):
+        for workload in WORKLOADS.values():
+            assert workload.reps_for("full") >= workload.reps_for("smoke") >= 1
+        assert SUITES == ("smoke", "full")
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("no-such-workload")
+
+    def test_workload_experiments_resolve(self):
+        for workload in WORKLOADS.values():
+            assert registry.get(workload.experiment) is not None
+
+
+class TestRunner:
+    def test_run_workload_counts_events(self, toy_registered):
+        workload = Workload(name="toy", experiment=TOY,
+                            description="toy", smoke_reps=1, full_reps=1)
+        result = run_workload(workload, reps=2)
+        assert result["reps"] == 2
+        assert result["wall_s"] > 0.0
+        assert result["events_per_s"] >= 0.0
+        assert result["experiment"] == TOY
+
+    def test_history_schema_and_append(self, toy_registered, tmp_path,
+                                       monkeypatch):
+        toy = Workload(name="toy", experiment=TOY,
+                       description="toy", smoke_reps=1, full_reps=1)
+        monkeypatch.setitem(WORKLOADS, "toy", toy)
+        entry = run_suite(suite="smoke", workloads=["toy"])
+        assert entry["suite"] == "smoke"
+        assert "toy" in entry["workloads"]
+
+        path = tmp_path / "BENCH.json"
+        append_run(str(path), entry)
+        append_run(str(path), entry)
+        history = load_history(str(path))
+        assert history["schema"] == BENCH_SCHEMA
+        assert len(history["runs"]) == 2
+        assert latest_run(history) == history["runs"][-1]
+
+    def test_load_history_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"schema": "other/v9", "runs": []}))
+        with pytest.raises(ValueError):
+            load_history(str(path))
+
+
+def _entry(rates):
+    return {
+        "suite": "smoke",
+        "timestamp": "2026-01-01T00:00:00Z",
+        "platform": "test",
+        "workloads": {
+            name: {"experiment": name, "reps": 1, "wall_s": 1.0,
+                   "sim_events": int(rate), "events_per_s": rate}
+            for name, rate in rates.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_equal_runs_pass_gate(self):
+        base = _entry({"chi": 1000.0})
+        report = compare_runs(base, _entry({"chi": 1000.0}))
+        assert report.ok(0.9)
+        assert not report.failures(0.9)
+
+    def test_planted_regression_fails_gate(self):
+        # The CI gate contract: a >10% events/sec drop vs the floor
+        # must fail at --fail-below 0.9.
+        base = _entry({"chi": 1000.0, "pi2": 500.0})
+        regressed = compare_runs(base, _entry({"chi": 850.0, "pi2": 500.0}))
+        assert not regressed.ok(0.9)
+        assert [row.name for row in regressed.failures(0.9)] == ["chi"]
+
+    def test_10_percent_drop_still_passes(self):
+        base = _entry({"chi": 1000.0})
+        report = compare_runs(base, _entry({"chi": 900.0}))
+        assert report.ok(0.9)
+
+    def test_missing_workload_fails(self):
+        base = _entry({"chi": 1000.0, "pi2": 500.0})
+        report = compare_runs(base, _entry({"chi": 1000.0}))
+        assert report.missing == ["pi2"]
+        assert not report.ok(0.9)
+
+    def test_new_only_workload_ignored(self):
+        base = _entry({"chi": 1000.0})
+        report = compare_runs(base, _entry({"chi": 1000.0,
+                                            "extra": 1.0}))
+        assert report.ok(0.9)
+        assert [row.name for row in report.rows] == ["chi"]
+
+    def test_load_run_accepts_history_and_bare_entry(self, tmp_path):
+        entry = _entry({"chi": 1000.0})
+        bare = tmp_path / "floor.json"
+        bare.write_text(json.dumps(entry))
+        history = tmp_path / "history.json"
+        history.write_text(json.dumps(
+            {"schema": BENCH_SCHEMA, "runs": [_entry({"chi": 1.0}), entry]}))
+        assert load_run(str(bare))["workloads"]["chi"]["events_per_s"] == 1000.0
+        assert (load_run(str(history))["workloads"]["chi"]["events_per_s"]
+                == 1000.0)
+
+    def test_format_marks_failures(self):
+        report = compare_runs(_entry({"chi": 1000.0}),
+                              _entry({"chi": 500.0}))
+        text = "\n".join(report.format(0.9))
+        assert "FAIL" in text
+
+
+class TestCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "chi" in out and "adversary-heavy" in out
+
+    def test_bench_run_records_history(self, toy_registered, tmp_path,
+                                       capsys, monkeypatch):
+        toy = Workload(name="toy", experiment=TOY, description="toy",
+                       smoke_reps=1, full_reps=1)
+        monkeypatch.setitem(WORKLOADS, "toy", toy)
+        out = tmp_path / "BENCH.json"
+        assert main(["bench", "run", "--suite", "smoke",
+                     "--workload", "toy", "--out", str(out)]) == 0
+        history = load_history(str(out))
+        assert [run["suite"] for run in history["runs"]] == ["smoke"]
+        assert main(["bench", "run", "--workload", "toy", "--no-record",
+                     "--out", str(out)]) == 0
+        assert len(load_history(str(out))["runs"]) == 1  # unchanged
+
+    def test_bench_run_unknown_workload_exits_2(self, capsys):
+        assert main(["bench", "run", "--workload", "nope"]) == 2
+
+    def test_bench_compare_gate_exit_codes(self, tmp_path, capsys):
+        floor = tmp_path / "floor.json"
+        floor.write_text(json.dumps(_entry({"chi": 1000.0})))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_entry({"chi": 1000.0})))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(_entry({"chi": 850.0})))
+
+        assert main(["bench", "compare", str(floor), str(good),
+                     "--fail-below", "0.9"]) == 0
+        assert main(["bench", "compare", str(floor), str(bad),
+                     "--fail-below", "0.9"]) == 1
+        assert main(["bench", "compare", str(tmp_path / "absent.json"),
+                     str(good)]) == 2
+
+    def test_checked_in_floor_well_formed(self):
+        here = os.path.dirname(__file__)
+        floor = load_run(os.path.join(here, "..", "benchmarks",
+                                      "bench-floor.json"))
+        history = load_run(os.path.join(here, "..", "benchmarks",
+                                        "BENCH.json"))
+        report = compare_runs(floor, history)
+        assert isinstance(report, CompareReport)
+        # The committed post-overhaul run clears its own floor.
+        assert report.ok(0.9), report.format(0.9)
+
+    def test_obs_bench_alias_deprecated(self, toy_registered, tmp_path,
+                                        capsys):
+        out = tmp_path / "sweep"
+        assert main(["sweep", TOY, "--seeds", "1", "--jobs", "1",
+                     "--no-cache", "--out", str(out)]) == 0
+        with pytest.warns(DeprecationWarning, match="repro bench"):
+            assert main(["obs", "bench", str(out),
+                         "--out", str(tmp_path / "BENCH_obs.json")]) == 0

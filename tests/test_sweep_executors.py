@@ -534,19 +534,20 @@ class TestShardRetryPolicy:
         assert not policy.allows_retry(2)
 
 
-class TestConfigShim:
-    def test_legacy_kwargs_warn_and_work(self, tmp_path):
-        with pytest.warns(DeprecationWarning, match="SweepConfig"):
-            sweep = run_sweep("baselines", seeds=1,
-                              cache_dir=str(tmp_path))
+class TestConfigOnlyApi:
+    def test_legacy_kwargs_rejected(self, tmp_path):
+        # The PR 3 keyword shim has been expired: settings travel only
+        # in a SweepConfig now, and stray kwargs fail fast.
+        with pytest.raises(TypeError):
+            run_sweep("baselines", seeds=1, cache_dir=str(tmp_path))
+
+    def test_config_path_works(self, tmp_path):
+        sweep = run_sweep("baselines",
+                          SweepConfig(seeds=1, cache_dir=str(tmp_path)))
         assert sweep.n_runs == 1
 
-    def test_config_plus_kwargs_rejected(self):
-        with pytest.raises(TypeError, match="not both"):
-            run_sweep("baselines", SweepConfig(), seeds=1)
-
     def test_unknown_kwarg_rejected(self):
-        with pytest.raises(TypeError, match="bogus"):
+        with pytest.raises(TypeError):
             run_sweep("baselines", bogus=1)
 
     def test_shard_and_executor_mutually_exclusive(self):
