@@ -8,13 +8,12 @@ bursty TCP) goes unseen by ZHANG but is caught by χ's queue replay.
 from conftest import save_series
 
 from repro.baselines.zhang import ZhangDetector
-from repro.eval.scenarios import build_droptail_scenario
-from repro.net.adversary import QueueConditionalDropAttack
-from repro.net.topology import MBPS
+from repro.eval import build_scenario, droptail_spec
+from repro.net import MBPS, QueueConditionalDropAttack
 
 
 def run_face_off():
-    scenario = build_droptail_scenario(tau=2.0)
+    scenario = build_scenario(droptail_spec(tau=2.0))
     net, chi = scenario.network, scenario.chi
     tap = chi.taps[scenario.target]
     net.run(20.0)

@@ -11,12 +11,12 @@ is 90% full* — the attack crafted to hide inside congestion (Fig 6.7).
 Run:  python examples/congestion_vs_malice.py
 """
 
-from repro.eval.scenarios import build_droptail_scenario
-from repro.net.adversary import QueueConditionalDropAttack
+from repro.eval import build_scenario, droptail_spec
+from repro.net import QueueConditionalDropAttack
 
 
 def main() -> None:
-    scenario = build_droptail_scenario(tau=2.0)
+    scenario = build_scenario(droptail_spec(tau=2.0))
     network, chi = scenario.network, scenario.chi
 
     # Learning period (attack-free): fit the q_error model (µ, σ).

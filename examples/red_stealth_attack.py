@@ -11,12 +11,12 @@ faced, and flags the selected flows whose losses outrun their math.
 Run:  python examples/red_stealth_attack.py
 """
 
-from repro.eval.scenarios import build_red_scenario
-from repro.net.adversary import REDAverageConditionalDropAttack
+from repro.eval import build_scenario, red_spec
+from repro.net import REDAverageConditionalDropAttack
 
 
 def main() -> None:
-    scenario = build_red_scenario(tau=5.0)
+    scenario = build_scenario(red_spec(tau=5.0))
     network, chi = scenario.network, scenario.chi
     chi.schedule_rounds(1, 59)
 

@@ -1,10 +1,11 @@
 """Public-API surface rules: internals stay internal.
 
-``repro.net`` and ``repro.core`` export their supported surface through
-an explicit ``__all__``; everything behind it is an implementation
-module that may be reorganized freely.  The runtime enforces this softly
-(PEP 562 ``__getattr__`` deprecation warnings on package attribute
-access); this pass enforces it at lint time for in-repo code:
+``repro.net``, ``repro.core`` and ``repro.eval`` export their supported
+surface through an explicit ``__all__``; everything behind it is an
+implementation module that may be reorganized freely.  The runtime
+enforces this softly (PEP 562 ``__getattr__`` deprecation warnings on
+package attribute access); this pass enforces it at lint time for
+in-repo code:
 
 * **API001** — code outside the owning package imports a name from an
   internal module (``from repro.net.queues import REDQueue``) when the
@@ -14,6 +15,9 @@ access); this pass enforces it at lint time for in-repo code:
   attribute access.  Names *without* a public re-export are exempt:
   importing them from the implementation module is the only way and is
   an accepted, visible signal that the dependency is on internals.
+  A submodule whose name is itself in the package's ``__all__`` (e.g.
+  ``repro.eval.registry``) is a public module: importing it — or names
+  from it — is part of the promised surface and never flagged.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ rule("API001",
      "be reorganized without breaking callers.")
 
 #: Packages with a defended public surface.
-PUBLIC_PACKAGES = ("repro.net", "repro.core")
+PUBLIC_PACKAGES = ("repro.net", "repro.core", "repro.eval")
 
 
 def _package_exports(index: ProjectIndex,
@@ -97,7 +101,8 @@ def check_api_surface(info: ModuleInfo, index: ProjectIndex) -> List[Finding]:
             if public is None:
                 continue
             if not sub:
-                # ``from repro.net import X``: flag only submodule pulls.
+                # ``from repro.net import X``: flag only submodule pulls
+                # (a submodule named in __all__ is a public module).
                 for alias in node.names:
                     if (alias.name not in public
                             and f"{pkg}.{alias.name}" in index.modules):
@@ -106,6 +111,8 @@ def check_api_surface(info: ModuleInfo, index: ProjectIndex) -> List[Finding]:
                              f"import the supported names from {pkg} "
                              f"(see {pkg}.__all__)")
                 continue
+            if sub.split(".")[0] in public:
+                continue  # public submodule: its contents are fair game
             for alias in node.names:
                 if alias.name in public:
                     emit(node,
@@ -120,8 +127,11 @@ def check_api_surface(info: ModuleInfo, index: ProjectIndex) -> List[Finding]:
                 pkg = owner[0]
                 if home is not None and home[0] == pkg:
                     continue
-                if exports.get(pkg) is None:
+                public = exports.get(pkg)
+                if public is None:
                     continue
+                if owner[1].split(".")[0] in public:
+                    continue  # public submodule import, e.g. repro.eval.registry
                 emit(node,
                      f"{alias.name!r} is an internal module; import the "
                      f"supported names from {pkg} (see {pkg}.__all__)")

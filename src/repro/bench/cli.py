@@ -14,6 +14,11 @@ Subcommands:
 
 ``bench list``
     The workload catalogue with per-suite repetition counts.
+
+``bench sweep SWEEP_DIR [--out BENCH_obs.json]``
+    Distill a traced sweep directory into headline numbers (wall time,
+    simulator events, cache hit rate) — the successor of the removed
+    ``repro obs bench`` command.
 """
 
 from __future__ import annotations
@@ -64,6 +69,13 @@ def add_bench_parser(subparsers) -> None:
     lister = bench_sub.add_parser("list", help="list registered workloads")
     lister.set_defaults(func=cmd_bench_list)
 
+    sweep = bench_sub.add_parser(
+        "sweep", help="distill a traced sweep dir into headline numbers")
+    sweep.add_argument("sweep_dir", metavar="SWEEP_DIR")
+    sweep.add_argument("--out", default="BENCH_obs.json",
+                       help="output JSON path (default: %(default)s)")
+    sweep.set_defaults(func=cmd_bench_sweep)
+
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
     unknown = [n for n in (args.workloads or []) if n not in WORKLOADS]
@@ -97,6 +109,26 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         print(f"FAIL: events/sec below {args.fail_below:.2f}x of the "
               f"baseline for: {', '.join(failures)}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_bench_sweep(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.bench.sweep import build_sweep_bench
+
+    bench = build_sweep_bench(args.sweep_dir)
+    parent = os.path.dirname(args.out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wall: {bench['wall_s']:.2f} s, sim events: "
+          f"{bench['sim_events']} ({bench['events_per_s']:.0f}/s), "
+          f"cache hit rate: {bench['cache_hit_rate']:.0%}")
+    print(f"wrote {args.out}")
     return 0
 
 

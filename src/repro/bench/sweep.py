@@ -1,7 +1,8 @@
 """Distill a traced sweep directory into headline bench numbers.
 
-Grown out of ``repro obs bench`` (which remains as a deprecated alias):
-given a sweep directory produced with ``--trace``, pull wall time from
+Grown out of the removed ``repro obs bench`` command (the CLI entry is
+now ``python -m repro bench sweep``): given a sweep directory produced
+with ``--trace``, pull wall time from
 the manifest telemetry, simulator events from the merged metric
 snapshots, and emit the numbers the ROADMAP tracks.  The output keeps
 the historical ``repro.obs.bench/v1`` schema so existing consumers of

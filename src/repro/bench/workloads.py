@@ -75,5 +75,13 @@ for _w in (
     Workload("adversary-heavy", "adversary_heavy",
              "RED bottleneck with combined conditional-drop + SYN-drop",
              smoke_reps=1, full_reps=2),
+    Workload("adversary-matrix", "attack_matrix",
+             "one attack-matrix cell: Π2 scoring a dropping router "
+             "placed by betweenness on Abilene",
+             params=(("topology", "abilene"),
+                     ("adversary.behavior", "drop"),
+                     ("adversary.rate", 1.0),
+                     ("placement.strategy", "max-betweenness")),
+             smoke_reps=1, full_reps=2),
 ):
     _register(_w)

@@ -46,7 +46,13 @@ from repro.crypto.keys import KeyInfrastructure
 from repro.dist.sync import RoundSchedule
 from repro.eval.metrics import DetectionMetrics, score_round_findings
 from repro.eval.results import EvalResultBase, register_result_type
-from repro.eval.scenarios import build_droptail_scenario, build_red_scenario
+from repro.eval.scenarios import (
+    AttackScenario,
+    _droptail_scenario,
+    _red_scenario,
+    build_scenario,
+)
+from repro.eval.specs import ScenarioSpec, TopologySpec
 from repro.net import (
     CBRSource,
     CombinedCompromise,
@@ -60,9 +66,10 @@ from repro.net import (
     Topology,
     abilene,
     chain,
+    ebone_like,
     install_static_routes,
+    sprintlink_like,
 )
-from repro.net.topology import ebone_like, sprintlink_like
 
 
 def _topology(name: str) -> Topology:
@@ -409,9 +416,9 @@ def _run_droptail(name: str, attack_factory, *,
                   tau: float = 2.0,
                   n_sources: int = 3,
                   seed: int = 0) -> ScenarioResult:
-    scenario = build_droptail_scenario(tau=tau, seed=seed,
-                                       n_sources=n_sources,
-                                       with_connector=with_connector)
+    scenario = _droptail_scenario(tau=tau, seed=seed,
+                                  n_sources=n_sources,
+                                  with_connector=with_connector)
     net = scenario.network
     chi = scenario.chi
     net.run(learning_until)
@@ -688,8 +695,8 @@ def _run_red(name: str, attack_factory, *,
              tau: float = 5.0,
              n_sources: int = 8,
              seed: int = 0) -> ScenarioResult:
-    scenario = build_red_scenario(tau=tau, seed=seed, n_sources=n_sources,
-                                  with_connector=with_connector)
+    scenario = _red_scenario(tau=tau, seed=seed, n_sources=n_sources,
+                             with_connector=with_connector)
     net = scenario.network
     chi = scenario.chi
     chi.schedule_rounds(*monitor_rounds)
@@ -926,6 +933,126 @@ def adversary_heavy_bench(seed: int = 0, n_sources: int = 8,
 
 
 # ---------------------------------------------------------------------------
+# Attack matrices — topology x placement x behavior x rate grid cells
+# ---------------------------------------------------------------------------
+
+@register_result_type
+@dataclass
+class AttackMatrixResult(EvalResultBase):
+    """One attack-matrix cell: Π2 detection scored against ground truth.
+
+    ``precision`` is the fraction of suspicions (across correct routers)
+    that actually cover the compromised router; ``recall`` the fraction
+    of correct routers whose detector caught it (FI completeness);
+    ``latency`` the virtual seconds from adversary activation to the end
+    of the first covering suspicion interval, ``None`` when undetected
+    (the sweep aggregator skips None, so its ``n`` records coverage).
+    For ``behavior="none"`` control cells ground truth is empty, so
+    precision 1.0 means "no false alarms" and recall is trivially 1.0.
+    """
+
+    topology: str
+    behavior: str
+    placement_strategy: str
+    adversary_router: str
+    rate: float
+    detected: bool
+    precision: float
+    recall: float
+    latency: Optional[float]
+    total_suspicions: int
+    false_suspicions: int
+    segment_precision: int
+    sim_events: int
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "behavior": self.behavior,
+            "placement_strategy": self.placement_strategy,
+            "adversary_router": self.adversary_router,
+            "rate": self.rate,
+            "detected": self.detected,
+            "precision": self.precision,
+            "recall": self.recall,
+            "latency": self.latency,
+            "total_suspicions": self.total_suspicions,
+            "false_suspicions": self.false_suspicions,
+            "segment_precision": self.segment_precision,
+            "sim_events": self.sim_events,
+        }
+
+
+def attack_matrix(topology: str = "abilene",
+                  adversary: Optional[dict] = None,
+                  placement: Optional[dict] = None,
+                  traffic: Optional[dict] = None,
+                  tau: float = 1.0,
+                  rounds: int = 3,
+                  seed: int = 0) -> AttackMatrixResult:
+    """One cell of the WedgeTail-style per-topology attack matrix.
+
+    Builds the :class:`~repro.eval.specs.ScenarioSpec` the parameters
+    describe (nested dicts arrive from dotted ``--grid`` keys such as
+    ``adversary.rate``), runs the armed Π2 detector and scores
+    detection precision/recall/latency against the placed adversary.
+    """
+    spec = ScenarioSpec(
+        topology=(TopologySpec(name=topology)
+                  if isinstance(topology, str) else topology),
+        adversary=adversary, placement=placement, traffic=traffic,
+        tau=tau, rounds=rounds, seed=seed)
+    scenario = build_scenario(spec)
+    if not isinstance(scenario, AttackScenario):
+        raise ValueError(
+            "attack_matrix needs a routed catalogue topology; the "
+            "'simple' emulation testbed has its own experiments")
+    scenario.run()
+
+    states = scenario.protocol.states
+    bad = scenario.adversary_router
+    truth = set() if spec.adversary.behavior == "none" else {bad}
+    acc = accuracy_report(states, truth, max_precision=2)
+    comp = completeness_report(states, truth, mode="FI")
+
+    total = acc.total_suspicions
+    precision = (acc.accurate_suspicions / total) if total else 1.0
+    if truth:
+        correct = [router for router in states if router != bad]
+        hits = sum(1 for router in correct
+                   if bad in comp.per_router_detected.get(router, set()))
+        recall = (hits / len(correct)) if correct else 0.0
+        detected = bad in comp.detected
+    else:
+        recall = 1.0
+        detected = False
+
+    latency: Optional[float] = None
+    if truth:
+        covering = [s.interval[1]
+                    for state in states.values()
+                    for s in state.suspicions if s.contains(bad)]
+        if covering:
+            latency = min(covering) - scenario.attack_at
+
+    return AttackMatrixResult(
+        topology=spec.topology.name,
+        behavior=spec.adversary.behavior,
+        placement_strategy=spec.placement.strategy,
+        adversary_router=bad,
+        rate=spec.adversary.rate,
+        detected=detected,
+        precision=precision,
+        recall=recall,
+        latency=latency,
+        total_suspicions=total,
+        false_suspicions=total - acc.accurate_suspicions,
+        segment_precision=acc.precision,
+        sim_events=scenario.network.sim.events_dispatched,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Baseline demonstrations (Ch. 3 figures)
 # ---------------------------------------------------------------------------
 
@@ -1067,7 +1194,7 @@ def traffic_modeling_comparison(seed: int = 0) -> ModelingComparison:
     The paper verified Q's normality but found (µ, σ) predictions too
     rough for detection; this experiment quantifies the gap on our
     testbed."""
-    scenario = build_droptail_scenario(n_sources=3, seed=seed)
+    scenario = _droptail_scenario(n_sources=3, seed=seed)
     net = scenario.network
     net.run(120.0)
     queue = scenario.bottleneck_queue

@@ -18,10 +18,16 @@ instead of deep inside a process pool.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.eval import experiments as ex
+from repro.eval.specs import (
+    BEHAVIORS,
+    PLACEMENT_STRATEGIES,
+    TRAFFIC_KINDS,
+    topology_names,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -96,6 +102,18 @@ def report_protocol_bench(r) -> List[str]:
     ]
 
 
+def report_attack_matrix(r) -> List[str]:
+    latency = ("n/a" if r.latency is None else f"{r.latency:.2f}s")
+    return [
+        f"{r.topology}: {r.behavior}@{r.rate:g} on {r.adversary_router} "
+        f"({r.placement_strategy})",
+        f"detected={r.detected} precision={r.precision:.2f} "
+        f"recall={r.recall:.2f} latency={latency}",
+        f"suspicions: {r.total_suspicions} total, "
+        f"{r.false_suspicions} false; simulator events: {r.sim_events}",
+    ]
+
+
 def report_baselines(demos) -> List[str]:
     return [f"{demo.name}: {demo.values}" for demo in demos]
 
@@ -134,22 +152,58 @@ class ParamSpec:
     """One declared experiment parameter: name, type, default, choices.
 
     ``type=None`` means untyped — any value passes through.  ``choices``
-    restricts accepted values after coercion.
+    restricts accepted values after coercion.  ``fields`` declares a
+    one-level nested parameter (a spec-shaped mapping): the value must
+    be a mapping whose keys are validated/coerced against the sub-table,
+    and the CLI addresses sub-keys with dotted names
+    (``--grid adversary.rate=0.01,0.05``).
     """
 
     name: str
     type: Optional[type] = None
     default: object = _MISSING
     choices: Optional[Tuple[object, ...]] = None
+    fields: Optional[Tuple["ParamSpec", ...]] = None
 
     @property
     def required(self) -> bool:
         return self.default is _MISSING
 
+    def field_spec(self, sub: str) -> "ParamSpec":
+        """The sub-parameter spec for ``<name>.<sub>``, dotted-renamed."""
+        dotted = f"{self.name}.{sub}"
+        if self.fields is None:
+            raise ParamError(
+                f"parameter {self.name!r} has no nested fields; "
+                f"{dotted!r} is not a valid parameter")
+        for field_param in self.fields:
+            if field_param.name == sub:
+                return replace(field_param, name=dotted)
+        raise ParamError(
+            f"unknown parameter {dotted!r}; accepted: "
+            + ", ".join(f"{self.name}.{f.name}" for f in self.fields))
+
     def coerce(self, value: object, *, experiment: str = "") -> object:
         """Convert/validate one value, raising an actionable ParamError."""
         where = f"experiment {experiment!r} " if experiment else ""
+        if self.fields is not None:
+            if value is None:
+                return None
+            if not isinstance(value, Mapping):
+                raise ParamError(
+                    f"{where}parameter {self.name!r} expects a mapping "
+                    f"(address sub-keys as {self.name}."
+                    f"{self.fields[0].name} etc.); got {value!r}")
+            return {key: self.field_spec(str(key)).coerce(
+                        sub_value, experiment=experiment)
+                    for key, sub_value in value.items()}
         coerced = value
+        # CLI literal parsing turns the text "none" into Python None; a
+        # str parameter whose choices include "none" (e.g. the adversary
+        # behavior control cell) means that spelling, not "no value".
+        if (value is None and self.type is str and self.choices is not None
+                and "none" in self.choices):
+            return "none"
         if self.type is not None and value is not None:
             if self.type is bool and not isinstance(value, bool):
                 text = str(value).lower()
@@ -180,6 +234,9 @@ class ParamSpec:
         return coerced
 
     def describe(self) -> str:
+        if self.fields is not None:
+            inner = ", ".join(f.describe() for f in self.fields)
+            return f"{self.name}.{{{inner}}}"
         bits = [self.name]
         if self.type is not None:
             bits.append(f": {self.type.__name__}")
@@ -251,9 +308,17 @@ class ExperimentSpec:
         return "seed" in self.param_names
 
     def param_spec(self, name: str) -> ParamSpec:
+        """Resolve a (possibly dotted, ``root.sub``) parameter name."""
+        root, _, rest = name.partition(".")
         for param in self.params:
-            if param.name == name:
-                return param
+            if param.name == root:
+                if not rest:
+                    return param
+                try:
+                    return param.field_spec(rest)
+                except ParamError as error:
+                    raise ParamError(
+                        f"experiment {self.name!r}: {error}") from None
         raise ParamError(
             f"experiment {self.name!r} does not accept parameter "
             f"{name!r}; accepted: {', '.join(self.param_names) or '(none)'}")
@@ -265,8 +330,11 @@ class ExperimentSpec:
                 for name, value in values.items()}
 
     def run(self, **params):
+        from repro.sweep.grid import fold_dotted_params
+
         merged = dict(self.defaults)
         merged.update(params)
+        merged = fold_dotted_params(merged)
         return self.fn(**self.coerce_params(merged))
 
     def report(self, result) -> List[str]:
@@ -365,6 +433,33 @@ for _spec in (
     ExperimentSpec("modeling", ex.traffic_modeling_comparison,
                    report_modeling,
                    description="§6.1.2: Appenzeller model vs simulation"),
+    ExperimentSpec(
+        "attack_matrix", ex.attack_matrix, report_attack_matrix,
+        description="WedgeTail-style attack-matrix cell: Π2 detection "
+                    "scored over topology x placement x behavior x rate",
+        params=(
+            ParamSpec("topology", str, "abilene",
+                      choices=tuple(n for n in topology_names()
+                                    if n != "simple")),
+            ParamSpec("adversary", None, None, fields=(
+                ParamSpec("behavior", str, "drop", choices=BEHAVIORS),
+                ParamSpec("rate", float, 1.0),
+                ParamSpec("targeting", str, "flows",
+                          choices=("flows", "all")),
+                ParamSpec("options", None, ()),
+            )),
+            ParamSpec("placement", None, None, fields=(
+                ParamSpec("strategy", str, "seeded-random",
+                          choices=PLACEMENT_STRATEGIES),
+                ParamSpec("router", str, ""),
+            )),
+            ParamSpec("traffic", None, None, fields=(
+                ParamSpec("kind", str, "cbr", choices=TRAFFIC_KINDS),
+                ParamSpec("flows", int, 2),
+                ParamSpec("rate_bps", float, 600_000.0),
+                ParamSpec("duration", float, 4.0),
+            )),
+        )),
 ):
     register(_spec)
 

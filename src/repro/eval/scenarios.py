@@ -1,28 +1,44 @@
-"""Canned experiment scenarios (Fig 6.4's "simple topology" and friends).
+"""Canned experiment scenarios, built from typed :mod:`repro.eval.specs`.
 
-The emulation chapter's testbed: several source routers feeding one
-router ``r`` whose output link to ``rd`` is the bottleneck; TCP flows
-from the sources congest the bottleneck queue; a victim flow (or a victim
-destination's SYNs) is what the compromised ``r`` attacks.
+Two families live here:
 
-Two builders return ready-to-run bundles:
-
-* :func:`build_droptail_scenario` — droptail bottleneck, Figs 6.5-6.9;
-* :func:`build_red_scenario` — RED bottleneck, Figs 6.11-6.16, calibrated
-  so the average queue regularly crosses the paper's literal 45,000- and
-  54,000-byte attack thresholds.
+* the emulation chapter's "simple topology" testbed (Fig 6.4): several
+  source routers feeding one router ``r`` whose output link to ``rd`` is
+  the bottleneck; TCP flows congest the bottleneck queue and a victim
+  flow is what the compromised ``r`` attacks.  Spec helpers
+  :func:`droptail_spec` / :func:`red_spec` describe it; the legacy
+  positional builders :func:`build_droptail_scenario` /
+  :func:`build_red_scenario` remain as one-release deprecation shims.
+* WedgeTail-style attack matrices: :func:`build_scenario` on any
+  catalogued :class:`~repro.eval.specs.ScenarioSpec` resolves adversary
+  placement, routes monitored flows across the bad router and arms a
+  Π2 detector over their segments, returning an :class:`AttackScenario`.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core import ChiConfig, PathOracle, ProtocolChi
+from repro.core import (
+    ChiConfig,
+    PathOracle,
+    Pi2Config,
+    ProtocolChi,
+    ProtocolPi2,
+    SegmentMonitor,
+    SummaryPolicy,
+    monitored_segments_pi2,
+)
+from repro.crypto.keys import KeyInfrastructure
 from repro.dist.sync import RoundSchedule
 from repro.net import (
+    CBRSource,
+    Compromise,
     DropTailQueue,
+    FabricateAttack,
     MBPS,
     Network,
     REDParams,
@@ -30,6 +46,14 @@ from repro.net import (
     TCPFlow,
     Topology,
     install_static_routes,
+)
+from repro.eval.specs import (
+    AdversarySpec,
+    PlacementSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    register_topology,
 )
 
 
@@ -128,7 +152,33 @@ def _simple_topology(n_sources: int, bottleneck_bw: float,
     return topo
 
 
-def build_droptail_scenario(
+def _simple_topology_factory(n_sources: int = 3,
+                             bottleneck_bw: float = 1.0 * MBPS,
+                             queue_limit: int = 60_000,
+                             with_victim_sink: bool = False) -> Topology:
+    return _simple_topology(int(n_sources), float(bottleneck_bw),
+                            int(queue_limit), bool(with_victim_sink))
+
+
+register_topology("simple", _simple_topology_factory)
+
+
+# -- deprecation shims ------------------------------------------------------
+
+_SHIM_WARNED: set = set()
+
+
+def _warn_once(name: str, replacement: str) -> None:
+    if name in _SHIM_WARNED:
+        return
+    _SHIM_WARNED.add(name)
+    warnings.warn(
+        f"{name}() is deprecated; build a spec with {replacement} and "
+        f"pass it to build_scenario() instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def _droptail_scenario(
     n_sources: int = 3,
     bottleneck_bw: float = 1.0 * MBPS,
     queue_limit: int = 60_000,
@@ -174,7 +224,7 @@ DEFAULT_RED_PARAMS = REDParams(
 )
 
 
-def build_red_scenario(
+def _red_scenario(
     n_sources: int = 8,
     bottleneck_bw: float = 1.0 * MBPS,
     queue_limit: int = 120_000,
@@ -216,3 +266,244 @@ def build_red_scenario(
     return REDScenario(network=net, chi=chi, schedule=schedule,
                        oracle=oracle, flows=flows, target=("r", "rd"),
                        red_params=params, connector=connector)
+
+
+def build_droptail_scenario(
+    n_sources: int = 3,
+    bottleneck_bw: float = 1.0 * MBPS,
+    queue_limit: int = 60_000,
+    tau: float = 2.0,
+    proc_jitter: float = 0.0004,
+    with_connector: bool = False,
+    chi_config: Optional[ChiConfig] = None,
+    seed: int = 0,
+) -> DropTailScenario:
+    """Deprecated positional builder; use :func:`droptail_spec` +
+    :func:`build_scenario` (kept for one release)."""
+    _warn_once("build_droptail_scenario", "droptail_spec(...)")
+    return _droptail_scenario(
+        n_sources=n_sources, bottleneck_bw=bottleneck_bw,
+        queue_limit=queue_limit, tau=tau, proc_jitter=proc_jitter,
+        with_connector=with_connector, chi_config=chi_config, seed=seed)
+
+
+def build_red_scenario(
+    n_sources: int = 8,
+    bottleneck_bw: float = 1.0 * MBPS,
+    queue_limit: int = 120_000,
+    tau: float = 5.0,
+    red_params: Optional[REDParams] = None,
+    with_connector: bool = False,
+    chi_config: Optional[ChiConfig] = None,
+    seed: int = 0,
+) -> REDScenario:
+    """Deprecated positional builder; use :func:`red_spec` +
+    :func:`build_scenario` (kept for one release)."""
+    _warn_once("build_red_scenario", "red_spec(...)")
+    return _red_scenario(
+        n_sources=n_sources, bottleneck_bw=bottleneck_bw,
+        queue_limit=queue_limit, tau=tau, red_params=red_params,
+        with_connector=with_connector, chi_config=chi_config, seed=seed)
+
+
+# -- spec constructors for the simple testbed -------------------------------
+
+def droptail_spec(
+    n_sources: int = 3,
+    bottleneck_bw: float = 1.0 * MBPS,
+    queue_limit: int = 60_000,
+    tau: float = 2.0,
+    proc_jitter: float = 0.0004,
+    with_connector: bool = False,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Spec form of the droptail testbed (Figs 6.5-6.9)."""
+    return ScenarioSpec(
+        topology=TopologySpec("simple", options={
+            "bottleneck_bw": float(bottleneck_bw),
+            "queue_limit": int(queue_limit),
+        }),
+        adversary=AdversarySpec(behavior="none"),
+        placement=PlacementSpec(strategy="fixed", router="r"),
+        traffic=TrafficSpec(kind="tcp", flows=n_sources,
+                            rate_bps=float(bottleneck_bw)),
+        tau=tau, seed=seed,
+        options={"queue": "droptail", "proc_jitter": float(proc_jitter),
+                 "with_connector": bool(with_connector)},
+    )
+
+
+def red_spec(
+    n_sources: int = 8,
+    bottleneck_bw: float = 1.0 * MBPS,
+    queue_limit: int = 120_000,
+    tau: float = 5.0,
+    with_connector: bool = False,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Spec form of the RED testbed (Figs 6.11-6.16)."""
+    return ScenarioSpec(
+        topology=TopologySpec("simple", options={
+            "bottleneck_bw": float(bottleneck_bw),
+            "queue_limit": int(queue_limit),
+        }),
+        adversary=AdversarySpec(behavior="none"),
+        placement=PlacementSpec(strategy="fixed", router="r"),
+        traffic=TrafficSpec(kind="tcp", flows=n_sources,
+                            rate_bps=float(bottleneck_bw)),
+        tau=tau, seed=seed,
+        options={"queue": "red",
+                 "with_connector": bool(with_connector)},
+    )
+
+
+# -- attack-matrix scenarios ------------------------------------------------
+
+@dataclass
+class AttackScenario:
+    """A built attack-matrix cell: network, armed Π2 detector, traffic.
+
+    ``run()`` drives the simulator to :attr:`end_time`; detector output
+    is then in ``protocol.states`` (score it with
+    :func:`repro.core.accuracy_report` / ``completeness_report``).
+    """
+
+    spec: ScenarioSpec
+    network: Network
+    protocol: ProtocolPi2
+    monitor: SegmentMonitor
+    schedule: RoundSchedule
+    oracle: PathOracle
+    flows: Dict[str, object]
+    flow_paths: Dict[str, Tuple[str, ...]]
+    adversary_router: str
+    attack: Optional[Compromise]
+
+    @property
+    def attack_at(self) -> float:
+        """Virtual time the adversary activates (start of round 1)."""
+        return self.spec.tau
+
+    @property
+    def end_time(self) -> float:
+        """Monitored rounds plus settle time for the last summaries."""
+        return self.spec.tau * (self.spec.rounds + 1) + 3.0 * self.spec.tau
+
+    def run(self) -> "AttackScenario":
+        self.network.run(self.end_time)
+        return self
+
+
+def _attack_scenario(spec: ScenarioSpec) -> AttackScenario:
+    """Resolve placement, route flows across the bad router, arm Π2."""
+    topo = spec.topology.build()
+    net = Network(topo, seed=spec.seed)
+    paths = install_static_routes(net)
+    oracle = PathOracle(paths)
+    schedule = RoundSchedule(tau=spec.tau)
+    keys = KeyInfrastructure()
+
+    behavior = spec.adversary.behavior
+    if behavior == "reorder":
+        policy = SummaryPolicy.ORDER
+    elif behavior == "delay":
+        policy = SummaryPolicy.TIMELINESS
+    else:
+        policy = SummaryPolicy.CONTENT
+    monitor = SegmentMonitor(net, oracle, schedule, policy=policy)
+    net.add_tap(monitor)
+
+    # Transit candidates: routers that are interior to at least one
+    # shortest path, so traffic can actually cross the adversary.
+    candidates = sorted({hop for path in paths.values()
+                         for hop in path[1:-1]})
+    bad = spec.placement.resolve(topo, spec.seed, candidates)
+
+    pairs = sorted(ends for ends, path in paths.items()
+                   if bad in path[1:-1])
+    n_flows = min(spec.traffic.flows, len(pairs))
+    chosen = [pairs[(i * len(pairs)) // n_flows] for i in range(n_flows)]
+    flow_paths = {f"f{i + 1}": tuple(paths[ends])
+                  for i, ends in enumerate(chosen)}
+
+    segments = set()
+    enumerated = monitored_segments_pi2(sorted(flow_paths.values()), k=1)
+    for segs in enumerated.values():
+        segments |= segs
+    config = Pi2Config(k=1)
+    if policy is SummaryPolicy.TIMELINESS:
+        attack_delay = float(spec.adversary.option("delay", 0.05))
+        config = Pi2Config(
+            k=1, max_delay=float(spec.option("max_delay",
+                                             attack_delay / 2.0)))
+    protocol = ProtocolPi2(net, monitor, segments, keys, schedule,
+                           config=config)
+    protocol.schedule_rounds(0, spec.rounds)
+
+    flows: Dict[str, object] = {}
+    for i, (src, dst) in enumerate(chosen):
+        flow_id = f"f{i + 1}"
+        if spec.traffic.kind == "tcp":
+            flows[flow_id] = TCPFlow(net, src, dst, flow_id,
+                                     start=0.1 * (i + 1))
+        else:
+            flows[flow_id] = CBRSource(net, src, dst, flow_id,
+                                       rate_bps=spec.traffic.rate_bps,
+                                       duration=spec.traffic.duration)
+
+    # Deterministic adversary context from the first monitored flow.
+    first_path = flow_paths["f1"]
+    position = first_path.index(bad)
+    next_hop = first_path[position + 1]
+    wrong = sorted(name for name in topo.neighbors(bad)
+                   if name != next_hop)
+    attack = spec.adversary.build(
+        net, bad, sorted(flow_paths), spec.seed + 1,
+        wrong_neighbor=wrong[0] if wrong else None,
+        inject_neighbor=next_hop,
+        forged_src=first_path[0], forged_dst=first_path[-1])
+    if attack is not None:
+        attack.activate_between(spec.tau)
+        net.routers[bad].compromise = attack
+        if isinstance(attack, FabricateAttack):
+            attack.start(spec.tau)
+
+    return AttackScenario(spec=spec, network=net, protocol=protocol,
+                          monitor=monitor, schedule=schedule, oracle=oracle,
+                          flows=flows, flow_paths=flow_paths,
+                          adversary_router=bad, attack=attack)
+
+
+def build_scenario(
+    spec: ScenarioSpec,
+) -> Union[AttackScenario, DropTailScenario, REDScenario]:
+    """Build the scenario a spec describes.
+
+    The ``simple`` topology maps onto the emulation testbed (droptail or
+    RED bottleneck, selected by the scenario option ``queue``); every
+    other catalogued topology builds an :class:`AttackScenario`.
+    """
+    if spec.topology.name == "simple":
+        kwargs = dict(
+            n_sources=int(spec.traffic.flows),
+            bottleneck_bw=float(
+                spec.topology.option("bottleneck_bw", 1.0 * MBPS)),
+            tau=spec.tau,
+            with_connector=bool(spec.option("with_connector", False)),
+            seed=spec.seed,
+        )
+        queue = str(spec.option("queue", "droptail"))
+        if queue == "droptail":
+            return _droptail_scenario(
+                queue_limit=int(spec.topology.option("queue_limit",
+                                                     60_000)),
+                proc_jitter=float(spec.option("proc_jitter", 0.0004)),
+                **kwargs)
+        if queue == "red":
+            return _red_scenario(
+                queue_limit=int(spec.topology.option("queue_limit",
+                                                     120_000)),
+                **kwargs)
+        raise ValueError(
+            f"unknown queue option {queue!r}; 'droptail' or 'red'")
+    return _attack_scenario(spec)

@@ -20,7 +20,18 @@ import warnings as _warnings
 
 from repro.net.events import Simulator, Event
 from repro.net.packet import Packet, PacketKind
-from repro.net.topology import MBPS, Topology, Link, abilene, chain, diamond
+from repro.net.topology import (
+    MBPS,
+    Topology,
+    Link,
+    abilene,
+    chain,
+    diamond,
+    ebone_like,
+    grid,
+    ring,
+    sprintlink_like,
+)
 from repro.net.queues import DropTailQueue, REDParams, REDQueue, QueueEvent
 from repro.net.router import ForwardAction, MonitorTap, Network, Router
 from repro.net.routing import (
@@ -58,6 +69,10 @@ __all__ = [
     "abilene",
     "chain",
     "diamond",
+    "ebone_like",
+    "grid",
+    "ring",
+    "sprintlink_like",
     "DropTailQueue",
     "REDParams",
     "REDQueue",

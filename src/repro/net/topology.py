@@ -189,6 +189,37 @@ def diamond(**link_kwargs) -> Topology:
     return topo
 
 
+def ring(n: int, prefix: str = "r", **link_kwargs) -> Topology:
+    """A cycle topology r1 - r2 - ... - rn - r1."""
+    if n < 3:
+        raise ValueError("ring needs at least three routers")
+    topo = chain(n, prefix=prefix, **link_kwargs)
+    topo.name = f"ring-{n}"
+    topo.add_link(f"{prefix}{n}", f"{prefix}1", **link_kwargs)
+    return topo
+
+
+def grid(rows: int, cols: int, prefix: str = "r", **link_kwargs) -> Topology:
+    """A rows x cols mesh; router ``r{i}x{j}`` connects to its 4-neighbours."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs at least one row and one column")
+    if rows * cols < 2:
+        raise ValueError("grid needs at least two routers")
+    topo = Topology(name=f"grid-{rows}x{cols}")
+    names = [[f"{prefix}{i}x{j}" for j in range(1, cols + 1)]
+             for i in range(1, rows + 1)]
+    for row in names:
+        for name in row:
+            topo.add_router(name)
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                topo.add_link(names[i][j], names[i][j + 1], **link_kwargs)
+            if i + 1 < rows:
+                topo.add_link(names[i][j], names[i + 1][j], **link_kwargs)
+    return topo
+
+
 ABILENE_POPS = [
     "Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
     "Houston", "Indianapolis", "Chicago", "Atlanta", "WashingtonDC",

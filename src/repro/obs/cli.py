@@ -7,10 +7,9 @@ Subcommands:
     counts, merged metrics, and the sweep manifest's telemetry section
     when present.  ``--format json`` emits the aggregate as JSON.
 
-``obs bench SWEEP_DIR --out BENCH_obs.json``
-    Deprecated alias for the sweep distillation that moved to
-    :mod:`repro.bench.sweep`; prefer ``python -m repro bench``.  Kept
-    for one release.
+The former ``obs bench`` alias has been removed: sweep distillation
+lives at ``python -m repro bench sweep`` (:mod:`repro.bench.sweep`).
+Invoking ``obs bench`` exits with status 2 and a pointer.
 """
 
 from __future__ import annotations
@@ -142,21 +141,6 @@ def format_summary(summary: dict) -> List[str]:
     return lines
 
 
-def build_bench(sweep_dir: str) -> dict:
-    """Deprecated alias for :func:`repro.bench.sweep.build_sweep_bench`."""
-    import warnings
-
-    # Imported lazily: repro.bench.sweep imports summarize_paths from
-    # this module, so a top-level import here would be circular.
-    from repro.bench.sweep import build_sweep_bench
-
-    warnings.warn(
-        "repro.obs.cli.build_bench is deprecated; use "
-        "repro.bench.sweep.build_sweep_bench instead",
-        DeprecationWarning, stacklevel=2)
-    return build_sweep_bench(sweep_dir)
-
-
 # -- argparse wiring --------------------------------------------------------
 
 def add_obs_parser(subparsers) -> None:
@@ -174,12 +158,9 @@ def add_obs_parser(subparsers) -> None:
 
     bench = obs_sub.add_parser(
         "bench",
-        help="[deprecated: see `repro bench`] headline numbers for a "
-             "traced sweep")
-    bench.add_argument("sweep_dir", metavar="SWEEP_DIR")
-    bench.add_argument("--out", default="BENCH_obs.json",
-                       help="output JSON path (default: %(default)s)")
-    bench.set_defaults(func=cmd_bench)
+        help="[removed] sweep distillation moved to `repro bench sweep`")
+    bench.add_argument("args", nargs=argparse.REMAINDER)
+    bench.set_defaults(func=cmd_bench_removed)
 
 
 def cmd_summarize(args: argparse.Namespace) -> int:
@@ -192,26 +173,8 @@ def cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
-    import warnings
-
-    from repro.bench.sweep import build_sweep_bench
-
-    warnings.warn(
-        "`repro obs bench` is deprecated; sweep distillation now lives "
-        "at `python -m repro bench` (repro.bench.sweep)",
-        DeprecationWarning, stacklevel=2)
-    print("note: `repro obs bench` is deprecated; see "
-          "`python -m repro bench --help`", file=sys.stderr)
-    bench = build_sweep_bench(args.sweep_dir)
-    parent = os.path.dirname(args.out)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(bench, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wall: {bench['wall_s']:.2f} s, sim events: "
-          f"{bench['sim_events']} ({bench['events_per_s']:.0f}/s), "
-          f"cache hit rate: {bench['cache_hit_rate']:.0%}")
-    print(f"wrote {args.out}")
-    return 0
+def cmd_bench_removed(args: argparse.Namespace) -> int:
+    print("error: `repro obs bench` has been removed; use "
+          "`python -m repro bench sweep SWEEP_DIR --out BENCH_obs.json` "
+          "instead (see `python -m repro bench --help`)", file=sys.stderr)
+    return 2

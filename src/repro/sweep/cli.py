@@ -43,11 +43,15 @@ def add_sweep_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
                         help="worker processes (default: CPU count)")
     parser.add_argument("--param", action="append", default=[],
                         metavar="KEY=VALUE",
-                        help="fix an experiment parameter (repeatable)")
+                        help="fix an experiment parameter (repeatable; "
+                             "dotted keys like adversary.rate address "
+                             "nested spec fields)")
     parser.add_argument("--grid", action="append", default=[],
                         metavar="KEY=V1,V2,...",
                         help="sweep an experiment parameter over values "
-                             "(repeatable; cartesian product)")
+                             "(repeatable; cartesian product; dotted "
+                             "keys like placement.strategy address "
+                             "nested spec fields)")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="artifact directory "
                              "(default sweeps/<experiment>)")

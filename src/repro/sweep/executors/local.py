@@ -122,8 +122,7 @@ def _trace_filename(payload: dict) -> str:
 
 def _execute_cell(payload: dict) -> dict:
     """Run one sweep cell and return its serialized run record."""
-    from repro.eval import registry
-    from repro.eval.results import result_type_name, serialize_result
+    from repro.eval import registry, result_type_name, serialize_result
 
     try:
         spec = registry.get(payload["experiment"])

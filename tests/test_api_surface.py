@@ -1,4 +1,4 @@
-"""The narrowed public API surface of ``repro.net`` / ``repro.core``.
+"""The narrowed public surface of ``repro.net`` / ``repro.core`` / ``repro.eval``.
 
 Two enforcement layers, both covered here:
 
@@ -17,6 +17,7 @@ import warnings
 import pytest
 
 import repro.core
+import repro.eval
 import repro.net
 from repro.analysis import lint_paths
 
@@ -33,12 +34,29 @@ class TestRuntimeSurface:
             with warnings.catch_warnings():
                 warnings.simplefilter("error")
                 assert getattr(repro.core, name) is not None
+        for name in repro.eval.__all__:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert getattr(repro.eval, name) is not None
+
+    def test_eval_public_submodules_stay_quiet(self):
+        # ``experiments`` and ``registry`` are promised surface: package
+        # attribute access must resolve them without any warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert repro.eval.registry.__name__ == "repro.eval.registry"
+            assert (repro.eval.experiments.__name__
+                    == "repro.eval.experiments")
 
     @pytest.mark.parametrize("package,submodule", [
         (repro.net, "events"),
         (repro.net, "queues"),
         (repro.core, "chi"),
         (repro.core, "summaries"),
+        (repro.eval, "scenarios"),
+        (repro.eval, "results"),
+        (repro.eval, "specs"),
+        (repro.eval, "metrics"),
     ])
     def test_internal_module_access_warns(self, package, submodule):
         with pytest.warns(DeprecationWarning, match="internal module"):
@@ -62,6 +80,8 @@ class TestRuntimeSurface:
             repro.net.no_such_thing
         with pytest.raises(AttributeError, match="no_such_thing"):
             repro.core.no_such_thing
+        with pytest.raises(AttributeError, match="no_such_thing"):
+            repro.eval.no_such_thing
 
     def test_dir_lists_public_and_internal(self):
         listing = dir(repro.net)
@@ -70,10 +90,10 @@ class TestRuntimeSurface:
         assert "ProtocolChi" in listing and "chi" in listing
 
 
-def _lint(tmp_path, source):
+def _lint(tmp_path, source, package="net"):
     consumer = tmp_path / "consumer.py"
     consumer.write_text("# repro-lint: module=myapp.consumer\n" + source)
-    report = lint_paths([str(consumer), os.path.join(SRC, "repro", "net")],
+    report = lint_paths([str(consumer), os.path.join(SRC, "repro", package)],
                         rules=["API001"])
     return [(f.rule, os.path.basename(f.path)) for f in report.new
             if f.path == str(consumer)]
@@ -111,6 +131,27 @@ class TestApi001:
                             "from repro.net.packet import Packet\n")
         report = lint_paths([str(consumer)], rules=["API001"])
         assert report.new == []
+
+    def test_eval_public_submodule_imports_clean(self, tmp_path):
+        # registry/experiments are in repro.eval.__all__: importing the
+        # module — or names from it — is the promised surface.
+        assert _lint(tmp_path, "from repro.eval import registry\n",
+                     package="eval") == []
+        assert _lint(tmp_path, "import repro.eval.registry\n",
+                     package="eval") == []
+        assert _lint(tmp_path,
+                     "from repro.eval.registry import run_experiment\n",
+                     package="eval") == []
+
+    def test_eval_internal_module_imports_flagged(self, tmp_path):
+        assert _lint(tmp_path, "from repro.eval import scenarios\n",
+                     package="eval") == [("API001", "consumer.py")]
+        assert _lint(tmp_path, "import repro.eval.results\n",
+                     package="eval") == [("API001", "consumer.py")]
+        assert _lint(
+            tmp_path,
+            "from repro.eval.specs import ScenarioSpec\n",
+            package="eval") == [("API001", "consumer.py")]
 
     def test_shipped_tree_is_clean(self):
         report = lint_paths([SRC], rules=["API001"])

@@ -2,8 +2,8 @@
 
 Covers the workload registry, the runner's BENCH.json history schema,
 A/B comparison semantics (including the CI gate's failure modes), and
-the CLI surface — ``python -m repro bench {run,compare,list}`` plus the
-deprecated ``repro obs bench`` alias.
+the CLI surface — ``python -m repro bench {run,compare,list,sweep}``
+plus the removal stub left behind by the old ``repro obs bench`` alias.
 """
 
 import json
@@ -50,7 +50,7 @@ def toy_registered():
 class TestWorkloadRegistry:
     def test_required_workloads_registered(self):
         expected = {"chi", "pi2", "pik2", "fatih", "tcp-heavy",
-                    "adversary-heavy"}
+                    "adversary-heavy", "adversary-matrix"}
         assert expected == set(WORKLOADS)
 
     def test_reps_scale_with_suite(self):
@@ -214,11 +214,19 @@ class TestCli:
         # The committed post-overhaul run clears its own floor.
         assert report.ok(0.9), report.format(0.9)
 
-    def test_obs_bench_alias_deprecated(self, toy_registered, tmp_path,
-                                        capsys):
+    def test_bench_sweep_distills_sweep_dir(self, toy_registered, tmp_path,
+                                            capsys):
         out = tmp_path / "sweep"
         assert main(["sweep", TOY, "--seeds", "1", "--jobs", "1",
                      "--no-cache", "--out", str(out)]) == 0
-        with pytest.warns(DeprecationWarning, match="repro bench"):
-            assert main(["obs", "bench", str(out),
-                         "--out", str(tmp_path / "BENCH_obs.json")]) == 0
+        bench_out = tmp_path / "BENCH_obs.json"
+        assert main(["bench", "sweep", str(out),
+                     "--out", str(bench_out)]) == 0
+        bench = json.loads(bench_out.read_text())
+        assert bench["schema"] == "repro.obs.bench/v1"
+        assert bench["wall_s"] >= 0.0
+
+    def test_obs_bench_alias_removed(self, tmp_path, capsys):
+        assert main(["obs", "bench", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "removed" in err and "repro bench sweep" in err

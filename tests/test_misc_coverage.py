@@ -6,7 +6,8 @@ from repro.core.chi import ChiConfig
 from repro.core.detector import DetectorState, Suspicion
 from repro.crypto.keys import KeyInfrastructure
 from repro.dist.broadcast import robust_flood
-from repro.eval.scenarios import RepeatedConnector, build_droptail_scenario
+from repro.eval import build_scenario, droptail_spec, red_spec
+from repro.eval.scenarios import RepeatedConnector
 from repro.net.router import Network
 from repro.net.routing import compute_all_paths, install_static_routes
 from repro.net.tcp import TCPFlow
@@ -93,8 +94,7 @@ class TestKeysExtra:
 
 class TestChiConfig:
     def test_calibrate_rejects_red_targets(self):
-        from repro.eval.scenarios import build_red_scenario
-        scenario = build_red_scenario()
+        scenario = build_scenario(red_spec())
         with pytest.raises(TypeError):
             scenario.chi.calibrate(scenario.target)
 
@@ -147,7 +147,7 @@ class TestDetectorStateExtra:
 
 class TestScenarioBundle:
     def test_droptail_scenario_exposes_bottleneck(self):
-        scenario = build_droptail_scenario()
+        scenario = build_scenario(droptail_spec())
         queue = scenario.bottleneck_queue
         assert queue.limit_bytes == 60_000
         assert scenario.target == ("r", "rd")

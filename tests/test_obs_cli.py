@@ -1,7 +1,8 @@
 """CLI surface of the observability subsystem.
 
 ``repro sweep --trace --profile``, ``repro run --trace --profile``, and
-the ``repro obs summarize`` / ``repro obs bench`` aggregators.
+the ``repro obs summarize`` aggregator and the ``repro bench sweep``
+distillation (the successor of the removed ``repro obs bench``).
 """
 
 import glob
@@ -101,7 +102,7 @@ class TestObsCommands:
     def test_bench_writes_artifact(self, toy_registered, tmp_path, capsys):
         out = self._traced_sweep(tmp_path)
         bench_path = tmp_path / "BENCH_obs.json"
-        assert main(["obs", "bench", str(out),
+        assert main(["bench", "sweep", str(out),
                      "--out", str(bench_path)]) == 0
         with open(bench_path) as fh:
             bench = json.load(fh)
