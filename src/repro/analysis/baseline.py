@@ -85,6 +85,25 @@ class Baseline:
     def match(self, finding: Finding) -> bool:
         return finding.fingerprint() in self.entries
 
+    def drop(self, findings: List[Finding]) -> int:
+        """Remove the entries matching ``findings`` and rewrite the file.
+
+        Used by ``--fix``: an autofixed finding's baseline entry would
+        otherwise go stale the moment the source line changes (the
+        fingerprint hashes the line text).  Returns how many entries
+        were dropped; the file is rewritten only when at least one was.
+        """
+        dropped = 0
+        for finding in findings:
+            if self.entries.pop(finding.fingerprint(), None) is not None:
+                dropped += 1
+        if dropped and os.path.exists(self.path):
+            payload = {"schema": BASELINE_SCHEMA, "findings": self.entries}
+            with open(self.path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return dropped
+
     def stale_entries(self, findings: List[Finding]) -> Dict[str, dict]:
         """Baseline entries no longer matched by any current finding."""
         live = {finding.fingerprint() for finding in findings}

@@ -1,0 +1,138 @@
+"""On-disk incremental lint result cache (``.repro-cache/lint/``).
+
+Linting must stay a hard CI gate as the tree grows, so re-analysis is
+skipped for files whose inputs cannot have changed the result.  A cache
+entry for one file is valid only when all three keys match:
+
+* the file's **content hash** — any edit invalidates it;
+* the **rule-set version** — a content hash over every source file of
+  ``repro.analysis`` itself, so changing a rule (or the engine) flushes
+  the whole cache, the same trick ``repro.sweep`` uses for its
+  ``code_version`` key;
+* the **index digest** — a hash of the cross-file facts rules can see
+  (function signatures, class shapes, dataflow summaries, public
+  ``__all__`` exports).  Cross-file rules (REG, API001, TDM002) make a
+  per-file cache unsound in general; hashing the *visible* slice of the
+  project index restores soundness: edit a module others depend on and
+  the digest shifts, flushing everyone.
+
+Files are always parsed (the index and suppression tables need every
+module); a cache hit skips only the rule passes — which is where the
+time goes — and the engine reports ``files_analyzed``/``files_cached``
+so CI can assert a warm run re-analyzes nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.analysis.findings import Finding
+
+#: Schema tag for cache entries; bump on incompatible layout changes.
+CACHE_SCHEMA = "repro.lint-cache/v1"
+#: Default cache directory, matching the sweep cache's home.
+DEFAULT_CACHE_DIR = os.path.join(".repro-cache", "lint")
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def rules_version() -> str:
+    """Content hash over the ``repro.analysis`` package's own sources."""
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    hasher = hashlib.sha256()
+    for root, dirs, files in os.walk(package_dir):
+        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            hasher.update(os.path.relpath(path, package_dir).encode())
+            with open(path, "rb") as handle:
+                hasher.update(handle.read())
+    return hasher.hexdigest()
+
+
+def index_digest(index) -> str:
+    """Hash of every cross-file fact a rule pass can observe."""
+    from repro.analysis.rules.api import PUBLIC_PACKAGES, _package_exports
+
+    facts: Dict[str, object] = {
+        "functions": {
+            name: [fn.params, fn.has_kwargs]
+            for name, fn in sorted(index.functions.items())
+        },
+        "classes": {
+            name: [sorted(cls.methods), cls.bases, cls.decorators]
+            for name, cls in sorted(index.classes.items())
+        },
+        "summaries": {
+            name: sorted(kinds)
+            for name, kinds in sorted(index.summaries.items())
+        },
+        "modules": sorted(index.modules),
+        "exports": {
+            pkg: sorted(exports) if exports is not None else None
+            for pkg, exports in (
+                (pkg, _package_exports(index, pkg))
+                for pkg in PUBLIC_PACKAGES)
+        },
+    }
+    blob = json.dumps(facts, sort_keys=True, default=list).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class LintCache:
+    """Per-file lint results keyed by (content, rule-set, index) hashes."""
+
+    def __init__(self, cache_dir: str = DEFAULT_CACHE_DIR) -> None:
+        self.cache_dir = cache_dir
+        self.rules_version = rules_version()
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, display_path: str, file_hash: str) -> str:
+        name = hashlib.sha256(display_path.encode()).hexdigest()[:24]
+        return os.path.join(self.cache_dir, f"{name}-{file_hash[:16]}.json")
+
+    def load(self, display_path: str, file_hash: str,
+             digest: str) -> Optional[List[Finding]]:
+        """Cached raw findings for one file, or None on any mismatch."""
+        path = self._entry_path(display_path, file_hash)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (entry.get("schema") != CACHE_SCHEMA
+                or entry.get("path") != display_path
+                or entry.get("file_hash") != file_hash
+                or entry.get("rules_version") != self.rules_version
+                or entry.get("index_digest") != digest):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Finding.from_cache_dict(item)
+                for item in entry.get("findings", [])]
+
+    def store(self, display_path: str, file_hash: str, digest: str,
+              findings: List[Finding]) -> None:
+        os.makedirs(self.cache_dir, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "path": display_path,
+            "file_hash": file_hash,
+            "rules_version": self.rules_version,
+            "index_digest": digest,
+            "findings": [f.to_cache_dict() for f in findings],
+        }
+        path = self._entry_path(display_path, file_hash)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True)
+        os.replace(tmp, path)

@@ -1,0 +1,897 @@
+"""Intraprocedural flow-sensitive dataflow/taint engine for lint rules.
+
+The per-statement pattern matching in the original rule passes answers
+"does this expression read a clock?"; the questions the cache-key and
+time-domain rules need are about *flows*: does a wall-clock value ever
+reach a sim-domain trace sink, does an unordered iteration actually
+escape into output, does anything nondeterministic feed the sweep
+content hash?  This module answers those with a forward abstract
+interpretation over each function body:
+
+* the abstract value of an expression is a set of :class:`Taint` tags —
+  ``wall-clock``, ``entropy``, ``environment``, ``set-order`` — plus
+  object-provenance tags (``obj:recorder``, ``obj:hasher``, ...) used to
+  recognize sink receivers;
+* assignments are strong updates (``x = time.time(); x = 0`` leaves
+  ``x`` clean), branches join by union, loops run to a small fixpoint so
+  taint carried around a back edge is seen;
+* containers, attribute stores, f-strings, arithmetic and *mutating*
+  method calls (``out.append(x)``) propagate taint; ``sorted`` and the
+  order-insensitive reducers kill ``set-order``; ``len``/``any``/
+  ``all``/``bool`` kill everything;
+* calls resolve one hop through :class:`~repro.analysis.model.
+  ProjectIndex` **function summaries** (the taint kinds a top-level
+  function's return value carries, computed without further call
+  resolution), so a helper in another module that returns
+  ``time.perf_counter()`` taints its callers' values too.
+
+The result of analyzing one module is a :class:`ModuleFlow`: the set of
+``set-order`` iteration sites whose values escaped (DET004's flow-
+sensitive filter) and every :class:`SinkHit` — a tainted value reaching
+a hash/spec/param/sim-domain sink (the CKY and TDM rule families).
+
+Known imprecision, on purpose: calls to unknown functions launder taint
+(no inter-procedural argument tracking beyond the one-hop return
+summaries), implicit flows through branch conditions are ignored, and
+attributes are tracked as dotted names, not objects.  Both err toward
+silence; the syntactic DET rules still catch the direct reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.model import ModuleInfo, ProjectIndex
+
+# -- taint kinds ------------------------------------------------------------
+
+WALL = "wall-clock"
+ENTROPY = "entropy"
+ENV = "environment"
+SET_ORDER = "set-order"
+#: The value-taint kinds (object-provenance tags are ``obj:*``).
+VALUE_KINDS = frozenset({WALL, ENTROPY, ENV, SET_ORDER})
+
+OBJ_RECORDER = "obj:recorder"
+OBJ_METRICS = "obj:metrics"
+OBJ_METRIC = "obj:metric"
+OBJ_SINK = "obj:sink"
+OBJ_TRACETAP = "obj:tracetap"
+OBJ_HASHER = "obj:hasher"
+OBJ_CACHE = "obj:cache"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tag on an abstract value.
+
+    ``site`` is the (line, col) where the taint originated — for
+    ``set-order`` it identifies the iteration/materialization site the
+    DET004 finding will anchor to.
+    """
+
+    kind: str
+    site: Tuple[int, int] = (0, 0)
+    detail: str = ""
+
+
+Taints = FrozenSet[Taint]
+EMPTY: Taints = frozenset()
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A tainted value reaching a rule-relevant sink."""
+
+    family: str  # "hash" | "spec" | "param" | "sim-sink" | "wall-call"
+    line: int
+    col: int
+    sink: str  # human-readable sink description, e.g. "rec.event()"
+    kinds: FrozenSet[str]
+    detail: str = ""
+
+
+@dataclass
+class ModuleFlow:
+    """Everything one module's dataflow analysis produced."""
+
+    escaped_set_sites: Set[Tuple[int, int]] = field(default_factory=set)
+    hits: List[SinkHit] = field(default_factory=list)
+
+
+# -- sources, sanitizers, sinks --------------------------------------------
+
+#: time-module reads that produce wall-domain values.  Unlike DET003,
+#: perf_counter/monotonic ARE wall sources here: an elapsed-time value is
+#: harmless until it flows into a sim-domain sink, which is exactly what
+#: the flow rules check.
+_WALL_TIME_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "localtime",
+    "gmtime", "ctime"})
+_WALL_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_ENTROPY_OS = frozenset({"urandom", "getrandom"})
+_UUID_RANDOM = frozenset({"uuid1", "uuid4"})
+#: random-module attributes that are *not* global-state draws.
+_RANDOM_SAFE = frozenset({"Random", "SystemRandom", "__name__"})
+
+#: Reducers whose result does not depend on iteration order: they kill
+#: ``set-order`` but keep other kinds (sum of wall times is still wall).
+_ORDER_KILL = frozenset({"sorted", "sum", "min", "max", "set", "frozenset",
+                         "Counter"})
+#: Calls whose result carries none of its argument's taint.
+_KILL_ALL = frozenset({"len", "any", "all", "bool", "isinstance", "id",
+                       "hash", "callable"})
+#: Conversions that pass every taint kind through unchanged.
+_TRANSPARENT = frozenset({"str", "int", "float", "complex", "round", "abs",
+                          "repr", "format", "bytes", "list", "tuple",
+                          "dict", "reversed", "copy", "deepcopy", "replace",
+                          "iter", "next"})
+#: Receiver-mutating methods: taint flows from args into the receiver.
+_MUTATORS = frozenset({"append", "add", "extend", "insert", "update",
+                       "setdefault", "appendleft", "push", "put"})
+#: Write-ish method names treated as output sinks for escape analysis.
+_WRITE_METHODS = frozenset({"write", "writelines", "writerow", "writerows",
+                            "send", "sendall"})
+
+#: hashlib constructors (content-hash sinks and hasher provenance).
+_HASHLIB_CTORS = frozenset({"sha1", "sha224", "sha256", "sha384", "sha512",
+                            "sha3_256", "sha3_512", "blake2b", "blake2s",
+                            "md5", "new"})
+#: Spec classes whose construction/serialization feeds the cache key.
+_SPEC_CLASSES = frozenset({"ScenarioSpec", "TopologySpec", "AdversarySpec",
+                           "PlacementSpec", "TrafficSpec"})
+#: ResultCache methods that consume a RunSpec when computing the key.
+_CACHE_KEY_METHODS = frozenset({"key", "path", "load", "store"})
+#: Metric handle constructors on a MetricsRegistry.
+_METRIC_CTORS = frozenset({"counter", "gauge", "histogram"})
+#: Mutating calls on a metric handle (the sim-domain measurement sinks).
+_METRIC_SINKS = frozenset({"inc", "set", "observe"})
+
+#: Set-type annotation spellings for within-file set inference.
+SET_ANNOTATIONS = ("set", "Set", "FrozenSet", "frozenset", "AbstractSet",
+                   "MutableSet")
+
+#: Parameter annotations that seed object provenance: a function taking
+#: ``rec: Recorder`` has a sim-domain sink in hand even though it never
+#: constructed one.
+_ANNOTATION_PROVENANCE = {
+    "Recorder": OBJ_RECORDER,
+    "MetricsRegistry": OBJ_METRICS,
+    "TraceTap": OBJ_TRACETAP,
+    "Gauge": OBJ_METRIC,
+    "Histogram": OBJ_METRIC,
+    "ResultCache": OBJ_CACHE,
+}
+
+
+def dotted_name(node: ast.expr) -> str:
+    """'a.b.c' for nested Name/Attribute chains, '' otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class SetTracker(ast.NodeVisitor):
+    """Within-file inference of set-typed names and attributes.
+
+    Over-approximates on purpose: a name assigned from a set expression
+    or annotated ``Set[...]`` anywhere in the file is treated as
+    set-typed everywhere.  Scope-precise inference is not worth the
+    complexity for a codebase this size; the flow filter downstream
+    (escape analysis) is what trims the false positives.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    def _is_set_annotation(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            text = node.value.split("[")[0].strip()
+            return text.split(".")[-1] in SET_ANNOTATIONS
+        text = dotted_name(node)
+        return text.split(".")[-1] in SET_ANNOTATIONS
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        target = dotted_name(node.target)
+        if target and self._is_set_annotation(node.annotation):
+            self.set_names.add(target)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if is_set_expr(node.value, self.set_names):
+            for target in node.targets:
+                text = dotted_name(target)
+                if text:
+                    self.set_names.add(text)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if node.annotation is not None \
+                and self._is_set_annotation(node.annotation):
+            self.set_names.add(node.arg)
+        self.generic_visit(node)
+
+
+def is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    """Is this expression certainly a set/frozenset?"""
+    if isinstance(node, (ast.SetComp, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference"):
+            return is_set_expr(node.func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+        return (is_set_expr(node.left, set_names)
+                or is_set_expr(node.right, set_names))
+    text = dotted_name(node)
+    if text:
+        return text in set_names or text.split(".", 1)[-1] in set_names
+    return False
+
+
+def collect_set_names(tree: ast.Module) -> Set[str]:
+    tracker = SetTracker()
+    tracker.visit(tree)
+    return tracker.set_names
+
+
+# -- the analyzer -----------------------------------------------------------
+
+def _annotation_provenance(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Object-provenance tag implied by a parameter's type annotation."""
+    if annotation is None:
+        return None
+    node = annotation
+    if isinstance(node, ast.Subscript):  # Optional[Recorder] etc.
+        node = node.slice
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        terminal = node.value.split("[")[0].strip().split(".")[-1]
+    else:
+        terminal = dotted_name(node).split(".")[-1]
+    return _ANNOTATION_PROVENANCE.get(terminal)
+
+
+def _kinds(taints: Taints) -> FrozenSet[str]:
+    return frozenset(t.kind for t in taints if t.kind in VALUE_KINDS)
+
+
+def _values(taints: Taints) -> Taints:
+    return frozenset(t for t in taints if t.kind in VALUE_KINDS)
+
+
+def _has(taints: Taints, kind: str) -> bool:
+    return any(t.kind == kind for t in taints)
+
+
+class _FlowAnalyzer:
+    """Forward taint interpretation over one function (or module) body."""
+
+    MAX_LOOP_PASSES = 3
+
+    def __init__(self, info: ModuleInfo, index: Optional[ProjectIndex],
+                 set_names: Set[str], flow: ModuleFlow,
+                 use_summaries: bool) -> None:
+        self.info = info
+        self.index = index
+        self.set_names = set_names
+        self.flow = flow
+        self.use_summaries = use_summaries
+        self.env: Dict[str, Taints] = {}
+        self.params: Set[str] = set()
+        self.returns: Taints = EMPTY
+        self._hit_keys: Set[Tuple[str, int, int, str]] = set()
+        # Wall/entropy names imported directly ("from time import time").
+        self.wall_names: Set[str] = set()
+        self.entropy_names: Set[str] = set()
+        self.datetime_names: Set[str] = set()
+        self.random_names: Set[str] = set()
+        for local, (module, name) in info.imported_names.items():
+            if module == "time" and name in _WALL_TIME_FNS:
+                self.wall_names.add(local)
+            elif module == "datetime" and name in ("datetime", "date"):
+                self.datetime_names.add(local)
+            elif module == "os" and name in _ENTROPY_OS:
+                self.entropy_names.add(local)
+            elif module == "uuid" and name in _UUID_RANDOM:
+                self.entropy_names.add(local)
+            elif module == "secrets":
+                self.entropy_names.add(local)
+            elif module == "random" and name not in _RANDOM_SAFE:
+                self.random_names.add(local)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _hit(self, family: str, node: ast.AST, sink: str,
+             taints: Taints, detail: str = "") -> None:
+        kinds = _kinds(taints)
+        if not kinds:
+            return
+        key = (family, node.lineno, node.col_offset, sink)
+        if key in self._hit_keys:
+            return
+        self._hit_keys.add(key)
+        self.flow.hits.append(SinkHit(
+            family=family, line=node.lineno, col=node.col_offset,
+            sink=sink, kinds=kinds, detail=detail))
+
+    def _escape(self, taints: Taints) -> None:
+        for taint in taints:
+            if taint.kind == SET_ORDER and taint.site != (0, 0):
+                self.flow.escaped_set_sites.add(taint.site)
+
+    def _site(self, node: ast.AST) -> Tuple[int, int]:
+        return (node.lineno, node.col_offset)
+
+    # -- statements --------------------------------------------------------
+
+    def run(self, body: List[ast.stmt], params: Iterable[str] = ()) -> None:
+        self.params = set(params)
+        for name in self.params:
+            self.env.setdefault(name, EMPTY)
+        self.exec_block(body)
+
+    def exec_block(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def _merge(self, *envs: Dict[str, Taints]) -> Dict[str, Taints]:
+        merged: Dict[str, Taints] = {}
+        for env in envs:
+            for name, taints in env.items():
+                merged[name] = merged.get(name, EMPTY) | taints
+        return merged
+
+    def _exec_branch(self, body: List[ast.stmt]) -> Dict[str, Taints]:
+        saved = dict(self.env)
+        self.exec_block(body)
+        result = self.env
+        self.env = saved
+        return result
+
+    def _exec_loop(self, body: List[ast.stmt],
+                   orelse: List[ast.stmt]) -> None:
+        # Small fixpoint: run the body until the env stops growing so
+        # taint flowing around a back edge (a = b; b = tainted) is seen.
+        # Hits/escapes dedupe, so repeated passes are harmless.
+        for _ in range(self.MAX_LOOP_PASSES):
+            before = dict(self.env)
+            after = self._exec_branch(body)
+            merged = self._merge(before, after)
+            if merged == before:
+                break
+            self.env = merged
+        self.exec_block(orelse)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._analyze_function(stmt)
+            self.env[stmt.name] = EMPTY
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._analyze_function(item)
+            self.env[stmt.name] = EMPTY
+        elif isinstance(stmt, ast.Assign):
+            taints = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, taints)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self.eval(stmt.value)
+            name = dotted_name(stmt.target)
+            if name:
+                taints = taints | self.env.get(name, EMPTY)
+            self.assign(stmt.target, taints)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taints = self.eval(stmt.value)
+                self.returns |= _values(taints)
+                self._escape(taints)
+        elif isinstance(stmt, ast.Expr):
+            value = self.eval(stmt.value)
+            if isinstance(stmt.value, (ast.Yield, ast.YieldFrom)):
+                self._escape(value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            then_env = self._exec_branch(stmt.body)
+            else_env = self._exec_branch(stmt.orelse)
+            self.env = self._merge(then_env, else_env)
+        elif isinstance(stmt, ast.For) or isinstance(stmt, ast.AsyncFor):
+            element = self.eval_iterable(stmt.iter, site_node=stmt)
+            self.assign(stmt.target, element)
+            self._exec_loop(stmt.body, stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self._exec_loop(stmt.body, stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            envs = [self._exec_branch(stmt.body)]
+            for handler in stmt.handlers:
+                envs.append(self._exec_branch(handler.body))
+            self.env = self._merge(*envs)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taints)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self.env.pop(dotted_name(target), None)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+        # Import/Global/Nonlocal/Pass/Break/Continue: no dataflow.
+
+    def _analyze_function(self, node) -> None:
+        """Nested/method function: fresh environment, shared sinks."""
+        sub = _FlowAnalyzer(self.info, self.index, self.set_names,
+                            self.flow, self.use_summaries)
+        args = node.args
+        annotated = args.posonlyargs + args.args + args.kwonlyargs
+        names = [a.arg for a in annotated]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        for arg in annotated:
+            kind = _annotation_provenance(arg.annotation)
+            if kind is not None:
+                sub.env[arg.arg] = frozenset({Taint(kind)})
+        sub.run(node.body, params=names)
+
+    # -- assignment targets ------------------------------------------------
+
+    def assign(self, target: ast.expr, taints: Taints) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taints  # strong update
+        elif isinstance(target, ast.Attribute):
+            name = dotted_name(target)
+            if name:
+                self.env[name] = taints
+                base = name.split(".", 1)[0]
+                # The object outlives the attribute name: taint it too,
+                # and stores onto self/parameters escape the function.
+                self.env[base] = self.env.get(base, EMPTY) | _values(taints)
+                if base == "self" or base in self.params:
+                    self._escape(taints)
+        elif isinstance(target, ast.Subscript):
+            self.eval(target.slice)
+            container = dotted_name(target.value)
+            if container:
+                self.env[container] = \
+                    self.env.get(container, EMPTY) | _values(taints)
+                base = container.split(".", 1)[0]
+                if base == "self" or base in self.params:
+                    self._escape(taints)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign(elt, taints)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taints)
+
+    # -- expressions --------------------------------------------------------
+
+    def eval_iterable(self, node: ast.expr, site_node: ast.AST) -> Taints:
+        """Taints of the *elements* produced by iterating ``node``.
+
+        When the iterable is an unordered set, the elements additionally
+        carry a ``set-order`` taint anchored at ``site_node`` — the
+        location the syntactic DET004 candidate reports.
+        """
+        taints = self.eval(node)
+        if is_set_expr(node, self.set_names):
+            taints = taints | frozenset(
+                {Taint(SET_ORDER, self._site(site_node))})
+        return taints
+
+    def eval(self, node: ast.expr) -> Taints:  # noqa: C901 - dispatcher
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, EMPTY)
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name == "os.environ":
+                return frozenset({Taint(ENV, self._site(node))})
+            if name and name in self.env:
+                return self.env[name]
+            base = self.eval(node.value)
+            # Provenance only flows through the known object graph.
+            mapped = set()
+            if OBJ_RECORDER in {t.kind for t in base}:
+                if node.attr == "metrics":
+                    mapped.add(Taint(OBJ_METRICS))
+                elif node.attr == "sink":
+                    mapped.add(Taint(OBJ_SINK))
+            return _values(base) | frozenset(mapped)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            out = EMPTY
+            for elt in node.elts:
+                out |= self.eval(elt)
+            return out
+        if isinstance(node, ast.Set):
+            out = EMPTY
+            for elt in node.elts:
+                # Re-potting values in a set erases any previous order.
+                out |= frozenset(t for t in self.eval(elt)
+                                 if t.kind != SET_ORDER)
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out |= self.eval(key)
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, ast.BinOp):
+            return self.eval(node.left) | self.eval(node.right)
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                self.eval(node.operand)
+                return EMPTY
+            return self.eval(node.operand)
+        if isinstance(node, ast.Compare):
+            self.eval(node.left)
+            for comp in node.comparators:
+                self.eval(comp)
+            return EMPTY  # booleans carry no order/clock information
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, ast.Subscript):
+            # The value fetched is the container's content: container
+            # taint propagates, but a tainted *index* does not make the
+            # looked-up value tainted (specs[i] is clean even when i
+            # came from iterating a timing dict).
+            self.eval(node.slice)
+            return self.eval(node.value)
+        if isinstance(node, ast.Slice):
+            out = EMPTY
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    out |= self.eval(part)
+            return out
+        if isinstance(node, ast.JoinedStr):
+            out = EMPTY
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp,
+                             ast.DictComp)):
+            return self.eval_comprehension(node)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                return self.eval(node.value)
+            return EMPTY
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            taints = self.eval(node.value)
+            self.assign(node.target, taints)
+            return taints
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        return EMPTY
+
+    def eval_comprehension(self, node) -> Taints:
+        saved = dict(self.env)
+        out = EMPTY
+        ordered_source = False
+        for gen in node.generators:
+            element = self.eval_iterable(gen.iter, site_node=node)
+            if is_set_expr(gen.iter, self.set_names):
+                ordered_source = True
+            self.assign(gen.target, element)
+            for cond in gen.ifs:
+                self.eval(cond)
+        if isinstance(node, ast.DictComp):
+            out = self.eval(node.key) | self.eval(node.value)
+        else:
+            out = self.eval(node.elt)
+        self.env = saved
+        if isinstance(node, ast.SetComp):
+            # The result is itself unordered: materialization order gone.
+            out = frozenset(t for t in out if t.kind != SET_ORDER)
+        elif ordered_source:
+            out = out | frozenset({Taint(SET_ORDER, self._site(node))})
+        return out
+
+    # -- calls ---------------------------------------------------------------
+
+    def _arg_taints(self, node: ast.Call) -> Taints:
+        out = EMPTY
+        for arg in node.args:
+            out |= self.eval(arg)
+        for keyword in node.keywords:
+            out |= self.eval(keyword.value)
+        return out
+
+    def _summary_for(self, node: ast.Call) -> Tuple[Optional[str],
+                                                    FrozenSet[str]]:
+        if not self.use_summaries or self.index is None:
+            return None, frozenset()
+        name = self.index.resolve_function_name(self.info, node.func)
+        if name is None:
+            return None, frozenset()
+        return name, self.index.summaries.get(name, frozenset())
+
+    def eval_call(self, node: ast.Call) -> Taints:
+        args = self._arg_taints(node)
+        dotted = dotted_name(node.func)
+        terminal = dotted.split(".")[-1] if dotted else ""
+        head = dotted.split(".")[0] if dotted else ""
+        receiver = EMPTY
+        method = ""
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value)
+            method = node.func.attr
+
+        result = EMPTY
+
+        # -- sources ------------------------------------------------------
+        source = self._source_taint(node, dotted, terminal, head)
+        if source is not None:
+            return source
+
+        # -- sanitizers / transparent conversions --------------------------
+        if not method and terminal in _KILL_ALL:
+            return EMPTY
+        if not method and terminal in _ORDER_KILL:
+            return frozenset(t for t in args if t.kind != SET_ORDER)
+
+        # -- set materializations (same sites the syntactic rule flags) ----
+        site_taint = frozenset({Taint(SET_ORDER, self._site(node))})
+        if terminal in ("list", "tuple") and len(node.args) == 1 \
+                and not method:
+            if is_set_expr(node.args[0], self.set_names):
+                return args | site_taint
+            return args
+        if terminal == "enumerate" and node.args and not method:
+            if is_set_expr(node.args[0], self.set_names):
+                return args | site_taint
+            return args
+        if terminal in ("map", "filter", "zip") and not method:
+            pool = node.args[1:] if terminal in ("map", "filter") \
+                else node.args
+            if any(is_set_expr(arg, self.set_names) for arg in pool):
+                return args | site_taint
+            return args
+        if method == "join" and len(node.args) == 1:
+            if is_set_expr(node.args[0], self.set_names):
+                return args | receiver | site_taint
+            return args | _values(receiver)
+
+        # -- provenance constructors ---------------------------------------
+        provenance = self._constructed_provenance(dotted, terminal, head,
+                                                  node, args)
+        if provenance is not None:
+            return provenance
+
+        # -- sinks ----------------------------------------------------------
+        self._check_sinks(node, dotted, terminal, method, receiver, args)
+
+        # -- one-hop summaries ----------------------------------------------
+        summary_name, kinds = self._summary_for(node)
+        if kinds:
+            result |= frozenset(
+                Taint(kind, self._site(node), detail=summary_name or "")
+                for kind in kinds)
+            if WALL in kinds:
+                self._hit("wall-call", node,
+                          f"{dotted or ast.unparse(node.func)}()",
+                          result, detail=summary_name or "")
+
+        if not method and terminal in _TRANSPARENT:
+            return result | _values(args)
+
+        if method:
+            # A registry's counter()/gauge()/histogram() hands back a
+            # metric handle; later .inc()/.set()/.observe() on it is a
+            # sim-domain sink.
+            if method in _METRIC_CTORS and _has(receiver, OBJ_METRICS):
+                return result | frozenset({Taint(OBJ_METRIC)})
+            # Mutating methods push argument taint into the receiver.
+            if method in _MUTATORS:
+                name = dotted_name(node.func.value)
+                if name:
+                    self.env[name] = self.env.get(name, EMPTY) | _values(args)
+                    base = name.split(".", 1)[0]
+                    if base == "self" or base in self.params \
+                            or "." in name:
+                        self._escape(args)
+            # A method result carries its receiver's (and args') taint.
+            return result | _values(receiver) | _values(args)
+
+        return result
+
+    def _source_taint(self, node: ast.Call, dotted: str, terminal: str,
+                      head: str) -> Optional[Taints]:
+        aliases = self.info.module_aliases
+        site = self._site(node)
+        # Wall clock.
+        if head == "time" and terminal in _WALL_TIME_FNS \
+                and aliases.get("time") == "time":
+            return frozenset({Taint(WALL, site)})
+        if dotted in self.wall_names:
+            return frozenset({Taint(WALL, site)})
+        parts = dotted.split(".")
+        if len(parts) >= 2 and parts[-1] in _WALL_DATETIME_FNS and (
+                parts[0] in self.datetime_names
+                or parts[0] == "datetime"):
+            return frozenset({Taint(WALL, site)})
+        # OS entropy / uuids / secrets / the global random generator.
+        if head == "os" and terminal in _ENTROPY_OS:
+            return frozenset({Taint(ENTROPY, site)})
+        if head == "secrets" and terminal and head in aliases:
+            return frozenset({Taint(ENTROPY, site)})
+        if head == "uuid" and terminal in _UUID_RANDOM:
+            return frozenset({Taint(ENTROPY, site)})
+        if dotted in self.entropy_names:
+            return frozenset({Taint(ENTROPY, site)})
+        if head == "random" and aliases.get("random") == "random" \
+                and terminal and terminal not in _RANDOM_SAFE \
+                and len(parts) == 2:
+            return frozenset({Taint(ENTROPY, site)})
+        if dotted in self.random_names:
+            return frozenset({Taint(ENTROPY, site)})
+        # Environment reads.
+        if dotted in ("os.getenv", "os.environ.get"):
+            return frozenset({Taint(ENV, site)})
+        if dotted == "getenv" and "getenv" in self.info.imported_names:
+            return frozenset({Taint(ENV, site)})
+        return None
+
+    def _constructed_provenance(self, dotted: str, terminal: str, head: str,
+                                node: ast.Call,
+                                args: Taints) -> Optional[Taints]:
+        if terminal in ("recorder", "Recorder") and not node.args:
+            return frozenset({Taint(OBJ_RECORDER)})
+        if terminal == "MetricsRegistry":
+            return frozenset({Taint(OBJ_METRICS)})
+        if terminal == "TraceTap":
+            return frozenset({Taint(OBJ_TRACETAP)})
+        if terminal == "ResultCache":
+            return frozenset({Taint(OBJ_CACHE)})
+        if terminal in _HASHLIB_CTORS and (
+                head == "hashlib"
+                or self.info.imported_names.get(terminal, ("", ""))[0]
+                == "hashlib"):
+            self._hit("hash", node, f"{dotted}()", args)
+            self._escape(args)
+            return frozenset({Taint(OBJ_HASHER)})
+        return None
+
+    def _check_sinks(self, node: ast.Call, dotted: str, terminal: str,
+                     method: str, receiver: Taints, args: Taints) -> None:
+        kinds_of = {t.kind for t in receiver}
+        # Content-hash sinks (cache keys).
+        if method == "update" and OBJ_HASHER in kinds_of:
+            self._hit("hash", node, f"{dotted}()", args)
+            self._escape(args)
+        if method in _CACHE_KEY_METHODS and OBJ_CACHE in kinds_of:
+            # Only the first argument (the RunSpec) feeds the key;
+            # store()'s second argument is the cached *payload*, which
+            # legitimately carries wall-clock timings.
+            key_arg = self.eval(node.args[0]) if node.args else EMPTY
+            self._hit("hash", node, f"{dotted}()", key_arg)
+        if not method and terminal == "RunSpec":
+            self._hit("hash", node, "RunSpec()", args)
+        # Scenario-spec construction/serialization.
+        if terminal in _SPEC_CLASSES and not method:
+            self._hit("spec", node, f"{terminal}()", args)
+        if method == "from_dict" and \
+                dotted.split(".")[-2:-1] and \
+                dotted.split(".")[-2] in _SPEC_CLASSES:
+            self._hit("spec", node, f"{dotted}()", args)
+        if method == "to_dict" and _values(receiver):
+            self._hit("spec", node, f"{dotted or 'to_dict'}()",
+                      receiver)
+            self._escape(receiver)
+        # ParamSpec coercion.
+        if terminal == "ParamSpec" and not method:
+            self._hit("param", node, "ParamSpec()", args)
+        if method == "coerce":
+            self._hit("param", node, f"{dotted or 'coerce'}()", args)
+        # Sim-domain observability sinks.
+        if method == "event" and OBJ_RECORDER in kinds_of:
+            self._hit("sim-sink", node, f"{dotted or 'event'}()", args)
+            self._escape(args)
+        if method == "emit" and OBJ_SINK in kinds_of:
+            self._hit("sim-sink", node, f"{dotted or 'emit'}()", args)
+            self._escape(args)
+        if method in _METRIC_SINKS and OBJ_METRIC in kinds_of:
+            self._hit("sim-sink", node, f"{dotted or method}()", args)
+            self._escape(args)
+        if method.startswith("on_") and OBJ_TRACETAP in kinds_of:
+            self._hit("sim-sink", node, f"{dotted or method}()", args)
+            self._escape(args)
+        # Output sinks: escape points for set-order taint.
+        if method in _WRITE_METHODS or (not method and terminal == "print"):
+            self._escape(args)
+        if dotted in ("json.dump", "json.dumps", "pickle.dump",
+                      "pickle.dumps", "marshal.dump", "marshal.dumps"):
+            self._escape(args)
+
+
+# -- public entry points ----------------------------------------------------
+
+def function_summaries(info: ModuleInfo) -> Dict[str, FrozenSet[str]]:
+    """Return-taint kinds for each top-level function in ``info``.
+
+    Computed without call resolution, so the project-wide summary table
+    gives exactly one hop of cross-function propagation.
+    """
+    set_names = collect_set_names(info.tree)
+    summaries: Dict[str, FrozenSet[str]] = {}
+    for node in info.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        flow = ModuleFlow()
+        analyzer = _FlowAnalyzer(info, None, set_names, flow,
+                                 use_summaries=False)
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args
+                 + args.kwonlyargs]
+        analyzer.run(node.body, params=names)
+        kinds = _kinds(analyzer.returns)
+        if kinds:
+            summaries[f"{info.module}.{node.name}"] = kinds
+    return summaries
+
+
+def compute_summaries(index: ProjectIndex) -> None:
+    """Populate ``index.summaries`` for every indexed module."""
+    for info in index.modules.values():
+        index.summaries.update(function_summaries(info))
+
+
+def module_flow(info: ModuleInfo, index: ProjectIndex) -> ModuleFlow:
+    """The (memoized) dataflow analysis result for one module."""
+    cached = info.flow_cache
+    if isinstance(cached, ModuleFlow):
+        return cached
+    set_names = collect_set_names(info.tree)
+    flow = ModuleFlow()
+    # Module body: a pseudo-function with no parameters.  Top-level
+    # statements and every (nested) function/method body are analyzed;
+    # _analyze_function recurses with fresh environments.
+    analyzer = _FlowAnalyzer(info, index, set_names, flow,
+                             use_summaries=True)
+    analyzer.run(info.tree.body)
+    flow.hits.sort(key=lambda h: (h.line, h.col, h.family, h.sink))
+    info.flow_cache = flow
+    return flow

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -21,6 +21,44 @@ class Rule:
     id: str
     summary: str
     rationale: str = ""
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A deterministic source edit attached to a finding.
+
+    A fix replaces one exact character span; ``original`` is the text
+    the span must still hold when the fix is applied, so a stale fix
+    (source drifted since analysis) is skipped instead of corrupting
+    the file.
+    """
+
+    line: int       # 1-based span start
+    col: int        # 0-based
+    end_line: int   # 1-based, inclusive line of the span end
+    end_col: int    # 0-based, exclusive
+    original: str
+    replacement: str
+    description: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "original": self.original,
+            "replacement": self.replacement,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fix":
+        return cls(line=data["line"], col=data["col"],
+                   end_line=data["end_line"], end_col=data["end_col"],
+                   original=data["original"],
+                   replacement=data["replacement"],
+                   description=data.get("description", ""))
 
 
 @dataclass
@@ -36,13 +74,15 @@ class Finding:
     #: occurrence index among findings with the same (rule, path, text);
     #: keeps fingerprints distinct when one line is duplicated verbatim.
     occurrence: int = 0
+    #: Mechanical autofix, when the rule can offer one (``--fix``).
+    fix: Optional[Fix] = None
 
     def fingerprint(self) -> str:
         key = f"{self.rule}|{self.path}|{self.source_line}|{self.occurrence}"
         return hashlib.sha256(key.encode()).hexdigest()[:16]
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -50,6 +90,31 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint(),
         }
+        if self.fix is not None:
+            data["fixable"] = True
+        return data
+
+    def to_cache_dict(self) -> dict:
+        """Full round-trip form for the on-disk lint result cache."""
+        data = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source_line": self.source_line,
+        }
+        if self.fix is not None:
+            data["fix"] = self.fix.to_dict()
+        return data
+
+    @classmethod
+    def from_cache_dict(cls, data: dict) -> "Finding":
+        fix = data.get("fix")
+        return cls(rule=data["rule"], path=data["path"], line=data["line"],
+                   col=data["col"], message=data["message"],
+                   source_line=data.get("source_line", ""),
+                   fix=Fix.from_dict(fix) if fix else None)
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"

@@ -1,0 +1,103 @@
+"""Applying autofixes: exact-span edits, bottom-up, verify-then-write.
+
+``repro lint --fix`` collects the :class:`~repro.analysis.findings.Fix`
+attached to each finding and rewrites the files here.  Three properties
+keep this safe enough to run unattended in CI:
+
+* **verification** — every fix records the exact text of the span it
+  replaces; if the file drifted since analysis the fix is skipped, never
+  misapplied;
+* **bottom-up application** — spans are applied last-to-first so earlier
+  offsets stay valid, and overlapping spans are skipped after the first;
+* **idempotence by re-lint** — fixes only rewrite constructs the rule
+  stops flagging afterwards (``sorted(x)`` satisfies DET004, a package
+  import satisfies API001), so a second ``--fix`` run finds nothing to
+  do.  The CLI re-lints after writing and reports what remains.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Fix
+
+
+def span_text(lines: List[str], line: int, col: int,
+              end_line: int, end_col: int) -> Optional[str]:
+    """Exact source text of a (line, col)..(end_line, end_col) span.
+
+    ``lines`` are raw source lines without terminators, 1-based line
+    numbers, ast column conventions.  Returns None when out of range.
+    """
+    if not (1 <= line <= end_line <= len(lines)):
+        return None
+    if line == end_line:
+        text = lines[line - 1]
+        if end_col > len(text):
+            return None
+        return text[col:end_col]
+    parts = [lines[line - 1][col:]]
+    parts.extend(lines[index] for index in range(line, end_line - 1))
+    tail = lines[end_line - 1]
+    if end_col > len(tail):
+        return None
+    parts.append(tail[:end_col])
+    return "\n".join(parts)
+
+
+def _sorted_fixes(fixes: Iterable[Fix]) -> List[Fix]:
+    """Deduplicated fixes, last span first, overlaps dropped."""
+    unique = sorted(set(fixes),
+                    key=lambda f: (f.line, f.col, f.end_line, f.end_col))
+    kept: List[Fix] = []
+    previous_start: Tuple[int, int] = (1 << 30, 1 << 30)
+    for fix in reversed(unique):
+        if (fix.end_line, fix.end_col) > previous_start:
+            continue  # overlaps the fix we already kept after it
+        kept.append(fix)
+        previous_start = (fix.line, fix.col)
+    return kept
+
+
+def apply_fixes(source: str, fixes: Iterable[Fix]) -> Tuple[str, int]:
+    """Apply fixes to one file's source; returns (new_source, n_applied).
+
+    Fixes whose recorded ``original`` no longer matches the file are
+    skipped (the caller re-lints afterwards, so nothing is lost — the
+    finding simply stays).
+    """
+    lines = source.splitlines()
+    applied = 0
+    for fix in _sorted_fixes(fixes):
+        current = span_text(lines, fix.line, fix.col,
+                            fix.end_line, fix.end_col)
+        if current != fix.original:
+            continue
+        head = lines[fix.line - 1][:fix.col]
+        tail = lines[fix.end_line - 1][fix.end_col:]
+        replacement_lines = (head + fix.replacement + tail).split("\n")
+        lines[fix.line - 1:fix.end_line] = replacement_lines
+        applied += 1
+    new_source = "\n".join(lines)
+    if source.endswith("\n"):
+        new_source += "\n"
+    return new_source, applied
+
+
+def fixes_by_path(findings: Iterable[Finding]) -> Dict[str, List[Fix]]:
+    """Group the attached fixes of ``findings`` by file path."""
+    grouped: Dict[str, List[Fix]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            grouped.setdefault(finding.path, []).append(finding.fix)
+    return grouped
+
+
+def unified_diff(path: str, before: str, after: str) -> str:
+    """A ``--diff``-mode unified diff for one file ('' when unchanged)."""
+    if before == after:
+        return ""
+    return "".join(difflib.unified_diff(
+        before.splitlines(keepends=True), after.splitlines(keepends=True),
+        fromfile=f"a/{path}", tofile=f"b/{path}"))

@@ -14,7 +14,7 @@ import ast
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 #: ``# repro-lint: disable=DET001,REG002 -- reason`` (reason optional at
 #: parse time; the engine reports LNT001 when it is missing).
@@ -71,6 +71,9 @@ class ModuleInfo:
     module_aliases: Dict[str, str] = field(default_factory=dict)
     #: local name -> (module, attr) for ``from x import y [as z]``.
     imported_names: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: Memoized dataflow result (`repro.analysis.dataflow.ModuleFlow`);
+    #: typed ``Any`` to keep the model layer free of engine imports.
+    flow_cache: Any = field(default=None, repr=False, compare=False)
 
     def source_line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -91,20 +94,33 @@ class ProjectIndex:
     functions: Dict[str, FunctionInfo] = field(default_factory=dict)  # "mod.fn"
     classes: Dict[str, ClassInfo] = field(default_factory=dict)       # "mod.Cls"
     modules: Dict[str, ModuleInfo] = field(default_factory=dict)      # by dotted name
+    #: "mod.fn" -> taint kinds its return value carries (one-hop call
+    #: summaries, populated by ``repro.analysis.dataflow.compute_summaries``).
+    summaries: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def resolve_function_name(self, info: ModuleInfo,
+                              node: ast.expr) -> Optional[str]:
+        """Resolve a Name/Attribute call target to its indexed dotted name."""
+        if isinstance(node, ast.Name):
+            target = info.imported_names.get(node.id)
+            if target is not None:
+                name = f"{target[0]}.{target[1]}"
+                if name in self.functions:
+                    return name
+            name = f"{info.module}.{node.id}"
+            return name if name in self.functions else None
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            module = info.module_aliases.get(node.value.id)
+            if module is not None:
+                name = f"{module}.{node.attr}"
+                return name if name in self.functions else None
+        return None
 
     def resolve_function(self, info: ModuleInfo,
                          node: ast.expr) -> Optional[FunctionInfo]:
         """Resolve a Name/Attribute expression to an indexed function."""
-        if isinstance(node, ast.Name):
-            target = info.imported_names.get(node.id)
-            if target is not None:
-                return self.functions.get(f"{target[0]}.{target[1]}")
-            return self.functions.get(f"{info.module}.{node.id}")
-        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
-            module = info.module_aliases.get(node.value.id)
-            if module is not None:
-                return self.functions.get(f"{module}.{node.attr}")
-        return None
+        name = self.resolve_function_name(info, node)
+        return self.functions.get(name) if name is not None else None
 
 
 def infer_module_name(path: str) -> str:

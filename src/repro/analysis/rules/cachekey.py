@@ -1,0 +1,84 @@
+"""Cache-key hygiene rules (CKY): what feeds the sweep content hash.
+
+The sweep cache's whole correctness story is that a result file is a
+pure function of its key — (experiment, params, seed, code version).
+A nondeterministic value reaching the key machinery poisons every lookup
+silently: the same scenario hashes differently per process (set order,
+clocks) or collides across genuinely different runs (laundered entropy).
+These rules ride the dataflow engine's sink hits, scoped to the two
+packages that own the key path (``repro.sweep``, ``repro.eval``):
+
+* **CKY001** — a tainted value reaches the content hash itself: a
+  ``hashlib`` constructor/``update``, ``ResultCache.key/path/load/store``,
+  or a ``RunSpec(...)`` construction.
+* **CKY002** — a tainted value reaches scenario-spec serialization: a
+  ``*Spec(...)`` constructor, ``*Spec.from_dict``, or ``to_dict()`` on a
+  tainted spec.  Specs round-trip byte-stably through ``to_dict`` into
+  the cache key, so anything nondeterministic inside one defeats the
+  round-trip guarantee.
+* **CKY003** — a tainted value reaches ``ParamSpec(...)`` or
+  ``.coerce(...)``: parameter defaults/choices and coerced CLI values
+  become the ``params`` half of the key.
+
+"Tainted" means carrying any of the four kinds the engine tracks:
+wall-clock, entropy, environment, or set-order.  Seeded RNG draws are
+untainted (``random.Random(seed)`` is how specs are *supposed* to
+derive randomness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis import dataflow
+from repro.analysis.findings import Finding, rule
+from repro.analysis.model import ModuleInfo, ProjectIndex
+
+rule("CKY001",
+     "nondeterministic value reaches the sweep content hash",
+     "cache keys must be pure functions of (experiment, params, seed, "
+     "code version); a clock/entropy/env/set-order value in the hash "
+     "input makes every lookup silently unsound.")
+rule("CKY002",
+     "nondeterministic value reaches scenario-spec serialization",
+     "ScenarioSpec and friends round-trip byte-stably through "
+     "to_dict/from_dict into the cache key; nondeterminism inside a "
+     "spec defeats the round-trip guarantee.")
+rule("CKY003",
+     "nondeterministic value reaches ParamSpec coercion",
+     "parameter defaults, choices and coerced CLI values become the "
+     "params half of the cache key; they must be deterministically "
+     "derived.")
+
+#: Packages that own the cache-key path.
+CACHE_KEY_PACKAGES = ("repro.sweep", "repro.eval")
+
+_FAMILY_RULE: Dict[str, str] = {
+    "hash": "CKY001",
+    "spec": "CKY002",
+    "param": "CKY003",
+}
+
+
+def _in_scope(module: str) -> bool:
+    return any(module == pkg or module.startswith(pkg + ".")
+               for pkg in CACHE_KEY_PACKAGES)
+
+
+def check_cachekey(info: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+    if not _in_scope(info.module):
+        return []
+    findings: List[Finding] = []
+    flow = dataflow.module_flow(info, index)
+    for hit in flow.hits:
+        rule_id = _FAMILY_RULE.get(hit.family)
+        if rule_id is None:
+            continue
+        kinds = ", ".join(sorted(hit.kinds))
+        findings.append(Finding(
+            rule=rule_id, path=info.path, line=hit.line, col=hit.col,
+            message=(f"{hit.sink} receives a value tainted by "
+                     f"{kinds}; everything feeding the cache key must "
+                     f"be deterministically derived"),
+            source_line=info.source_line(hit.line)))
+    return findings

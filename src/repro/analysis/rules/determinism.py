@@ -21,13 +21,21 @@ fence off the three classic leaks inside the simulation packages
   (``repro.obs.telemetry``) is exempt from the wall-clock half — it is
   the one sanctioned wall-domain module in the observability subsystem,
   and its output lives in the manifest, never in sim artifacts.
-* **DET004** — iterating a ``set``/``frozenset`` whose order reaches
-  downstream state.  String hashing is salted per process
+* **DET004** — iterating a ``set``/``frozenset`` whose order actually
+  escapes into downstream state.  String hashing is salted per process
   (PYTHONHASHSEED), so set order differs across the very worker
   processes a sweep fans out to.  Wrap the iterable in ``sorted(...)``
   or keep an ordered container.  Order-insensitive reducers
   (``sum``/``min``/``max``/``len``/``any``/``all``/``sorted``/set
-  constructors) are recognized and not flagged.
+  constructors) are recognized and not flagged, and since the
+  flow-sensitive engine landed the rule is *escape-filtered*: the
+  syntactic candidates (every set iteration/materialization site) are
+  kept only when the dataflow analysis sees an order-dependent value
+  derived from that site reach a return/yield, an output or hash sink,
+  object state, or a mutated parameter.  A loop that folds set members
+  into an order-insensitive aggregate no longer fires.  The filter is
+  an intersection, so the new rule's findings are always a subset of
+  the old syntactic rule's.
 """
 
 from __future__ import annotations
@@ -35,8 +43,15 @@ from __future__ import annotations
 import ast
 from typing import List, Set
 
-from repro.analysis.findings import Finding, rule
+from repro.analysis import dataflow
+from repro.analysis.dataflow import collect_set_names, is_set_expr
+from repro.analysis.findings import Finding, Fix, rule
+from repro.analysis.fixes import span_text as _span_text
 from repro.analysis.model import ModuleInfo, ProjectIndex
+
+# Shared AST helpers live in the dataflow engine now; keep the old
+# private names importable for in-repo users of this module.
+_dotted = dataflow.dotted_name
 
 rule("DET001",
      "call through the process-global random generator",
@@ -89,87 +104,10 @@ def _in_sim_scope(module: str) -> bool:
                for pkg in SIM_PACKAGES)
 
 
-def _dotted(node: ast.expr) -> str:
-    """'a.b.c' for nested Name/Attribute chains, '' otherwise."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ""
-
-
-class _SetTracker(ast.NodeVisitor):
-    """Within-file inference of set-typed names and attributes.
-
-    Over-approximates on purpose: a name assigned from a set expression
-    or annotated ``Set[...]`` anywhere in the file is treated as
-    set-typed everywhere.  Scope-precise inference is not worth the
-    complexity for a codebase this size; suppressions cover the rare
-    false positive.
-    """
-
-    SET_ANNOTATIONS = ("set", "Set", "FrozenSet", "frozenset",
-                       "AbstractSet", "MutableSet")
-
-    def __init__(self) -> None:
-        self.set_names: Set[str] = set()
-
-    def _is_set_annotation(self, node: ast.expr) -> bool:
-        if isinstance(node, ast.Subscript):
-            node = node.value
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            text = node.value.split("[")[0].strip()
-            return text.split(".")[-1] in self.SET_ANNOTATIONS
-        text = _dotted(node)
-        return text.split(".")[-1] in self.SET_ANNOTATIONS
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        target = _dotted(node.target)
-        if target and self._is_set_annotation(node.annotation):
-            self.set_names.add(target)
-        self.generic_visit(node)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if is_set_expr(node.value, self.set_names):
-            for target in node.targets:
-                text = _dotted(target)
-                if text:
-                    self.set_names.add(text)
-        self.generic_visit(node)
-
-    def visit_arg(self, node: ast.arg) -> None:
-        if node.annotation is not None \
-                and self._is_set_annotation(node.annotation):
-            self.set_names.add(node.arg)
-        self.generic_visit(node)
-
-
-def is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
-    """Is this expression certainly a set/frozenset?"""
-    if isinstance(node, ast.SetComp):
-        return True
-    if isinstance(node, ast.Set):
-        return True
-    if isinstance(node, ast.Call):
-        callee = _dotted(node.func)
-        if callee in ("set", "frozenset"):
-            return True
-        if isinstance(node.func, ast.Attribute) and node.func.attr in (
-                "union", "intersection", "difference",
-                "symmetric_difference"):
-            return is_set_expr(node.func.value, set_names)
-        return False
-    if isinstance(node, ast.BinOp) and isinstance(
-            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
-        return (is_set_expr(node.left, set_names)
-                or is_set_expr(node.right, set_names))
-    text = _dotted(node)
-    if text:
-        return text in set_names or text.split(".", 1)[-1] in set_names
-    return False
+# Backward-compatible alias: set inference moved into the dataflow
+# engine so the taint analysis and the syntactic candidates agree on
+# what "is a set" means.
+_SetTracker = dataflow.SetTracker
 
 
 class _DeterminismVisitor(ast.NodeVisitor):
@@ -201,11 +139,12 @@ class _DeterminismVisitor(ast.NodeVisitor):
             elif module == "datetime" and name == "datetime":
                 self.datetime_aliases.add(local)
 
-    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+    def _emit(self, rule_id: str, node: ast.AST, message: str,
+              fix: "Fix | None" = None) -> None:
         self.findings.append(Finding(
             rule=rule_id, path=self.info.path, line=node.lineno,
             col=node.col_offset, message=message,
-            source_line=self.info.source_line(node.lineno)))
+            source_line=self.info.source_line(node.lineno), fix=fix))
 
     # -- DET001 / DET002 / DET003: calls -------------------------------
     def _check_call(self, node: ast.Call) -> None:
@@ -273,13 +212,30 @@ class _DeterminismVisitor(ast.NodeVisitor):
                            f"IDs from a counter or the seed")
 
     # -- DET004: set iteration ------------------------------------------
+    def _sorted_fix(self, iterable: ast.expr) -> "Fix | None":
+        """Wrap the flagged iterable in ``sorted(...)`` in place."""
+        end_line = getattr(iterable, "end_lineno", None)
+        end_col = getattr(iterable, "end_col_offset", None)
+        if end_line is None or end_col is None:
+            return None
+        original = _span_text(self.info.lines, iterable.lineno,
+                              iterable.col_offset, end_line, end_col)
+        if original is None:
+            return None
+        return Fix(line=iterable.lineno, col=iterable.col_offset,
+                   end_line=end_line, end_col=end_col,
+                   original=original, replacement=f"sorted({original})",
+                   description="wrap set iterable in sorted(...)")
+
     def _check_iteration(self, iterable: ast.expr, node: ast.AST) -> None:
         if is_set_expr(iterable, self.set_names):
             text = _dotted(iterable) or ast.unparse(iterable)
             self._emit("DET004", node,
                        f"iteration over set {text!r} has "
-                       f"PYTHONHASHSEED-dependent order; wrap in "
-                       f"sorted(...) or use an ordered container")
+                       f"PYTHONHASHSEED-dependent order and escapes into "
+                       f"downstream state; wrap in sorted(...) or use an "
+                       f"ordered container",
+                       fix=self._sorted_fix(iterable))
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter, node)
@@ -325,17 +281,36 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def check_determinism(info: ModuleInfo,
-                      index: ProjectIndex) -> List[Finding]:
-    if not _in_sim_scope(info.module):
-        return []
-    tracker = _SetTracker()
-    tracker.visit(info.tree)
+def _syntactic_findings(info: ModuleInfo) -> List[Finding]:
+    set_names = collect_set_names(info.tree)
     entropy_ok = any(info.module == m or info.module.startswith(m + ".")
                      for m in ENTROPY_EXEMPT)
     wallclock_ok = any(info.module == m or info.module.startswith(m + ".")
                        for m in WALLCLOCK_EXEMPT)
-    visitor = _DeterminismVisitor(info, tracker.set_names, entropy_ok,
+    visitor = _DeterminismVisitor(info, set_names, entropy_ok,
                                   wallclock_ok)
     visitor.visit(info.tree)
     return visitor.findings
+
+
+def det004_candidates(info: ModuleInfo) -> List[Finding]:
+    """The PR-4-era syntactic DET004: every set iteration site.
+
+    Kept (a) so tests can prove the flow-sensitive rule is a strict
+    subset, and (b) as the candidate generator the escape filter prunes.
+    """
+    return [f for f in _syntactic_findings(info) if f.rule == "DET004"]
+
+
+def check_determinism(info: ModuleInfo,
+                      index: ProjectIndex) -> List[Finding]:
+    if not _in_sim_scope(info.module):
+        return []
+    findings = _syntactic_findings(info)
+    # DET004 escape filter: keep a syntactic candidate only when the
+    # dataflow engine saw an order-dependent value from that exact site
+    # escape (return/yield, output/hash/trace sink, object state, or a
+    # mutated parameter).  Intersection ⇒ new findings ⊆ old findings.
+    escaped = dataflow.module_flow(info, index).escaped_set_sites
+    return [f for f in findings
+            if f.rule != "DET004" or (f.line, f.col) in escaped]

@@ -1,0 +1,84 @@
+"""Time-domain taint rules (TDM): keep wall time out of sim artifacts.
+
+``repro.obs`` splits observability into two strictly separated time
+domains: sim-domain traces/metrics timestamped exclusively with
+simulator virtual time, and the wall-domain telemetry module.  DET003
+polices that split syntactically — any clock *read* outside
+``repro.obs.telemetry`` fires — but it deliberately ignores
+``perf_counter``/``monotonic`` and cannot see a wall value *moving*
+between domains through assignments and helper calls.  These rules
+close both gaps with the dataflow engine:
+
+* **TDM001** — a wall-clock-tainted value flows into a sim-domain sink:
+  ``Recorder.event``, a trace sink's ``emit``, a metric's
+  ``inc``/``set``/``observe``, or a ``TraceTap`` ``on_*`` callback.
+  Unlike DET003 this tracks *values*, so ``t = time.perf_counter();
+  rec.event("x", t)`` fires even though the read itself is DET003-clean,
+  and it applies inside ``repro.obs.telemetry`` too — telemetry may read
+  clocks, but it may not feed them into sim-domain records.  That
+  replaces the old blanket module exemption with the actual invariant.
+* **TDM002** — sim-domain code calls a helper whose return value is
+  wall-tainted (one-hop summary: e.g. ``telemetry.now_wall()``).
+  Laundering a clock through a function in another module is exactly
+  the leak a per-statement rule cannot see.
+
+Scope: the sim packages (same as DET), with ``repro.obs.telemetry``
+included for TDM001 and excluded for TDM002 (telemetry calling its own
+wall helpers is its job).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis import dataflow
+from repro.analysis.findings import Finding, rule
+from repro.analysis.model import ModuleInfo, ProjectIndex
+from repro.analysis.rules.determinism import SIM_PACKAGES, WALLCLOCK_EXEMPT
+
+rule("TDM001",
+     "wall-clock value flows into a sim-domain sink",
+     "sim-domain traces/metrics are timestamped with simulator virtual "
+     "time only; a wall-clock value in a Recorder/TraceTap/metrics sink "
+     "breaks trace byte-identity across runs and hosts.")
+rule("TDM002",
+     "sim-domain code calls a wall-clock-returning helper",
+     "a helper whose return value derives from the wall clock (e.g. "
+     "telemetry.now_wall) launders nondeterminism past the syntactic "
+     "clock-read rule; sim code must not consume wall-domain values.")
+
+
+def _in_sim_scope(module: str) -> bool:
+    return any(module == pkg or module.startswith(pkg + ".")
+               for pkg in SIM_PACKAGES)
+
+
+def _is_telemetry(module: str) -> bool:
+    return any(module == m or module.startswith(m + ".")
+               for m in WALLCLOCK_EXEMPT)
+
+
+def check_timedomain(info: ModuleInfo,
+                     index: ProjectIndex) -> List[Finding]:
+    if not _in_sim_scope(info.module):
+        return []
+    telemetry = _is_telemetry(info.module)
+    findings: List[Finding] = []
+    flow = dataflow.module_flow(info, index)
+    for hit in flow.hits:
+        if hit.family == "sim-sink" and dataflow.WALL in hit.kinds:
+            findings.append(Finding(
+                rule="TDM001", path=info.path, line=hit.line, col=hit.col,
+                message=(f"wall-clock-tainted value reaches sim-domain "
+                         f"sink {hit.sink}; sim records carry virtual "
+                         f"time only"),
+                source_line=info.source_line(hit.line)))
+        elif hit.family == "wall-call" and not telemetry:
+            helper = hit.detail or hit.sink
+            findings.append(Finding(
+                rule="TDM002", path=info.path, line=hit.line, col=hit.col,
+                message=(f"call to {hit.sink} returns a wall-clock-"
+                         f"derived value ({helper}); sim code must not "
+                         f"consume wall-domain values"),
+                source_line=info.source_line(hit.line)))
+    return findings

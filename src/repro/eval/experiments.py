@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.pathmodel import FaultyNode, PathModel
 from repro.baselines.perlman import perlman_per_hop_acks, perlman_route_setup
@@ -856,7 +856,7 @@ def _run_protocol_bench(name: str, protocol_name: str, *,
     net.add_tap(monitor)
     enum = (monitored_segments_pi2 if protocol_name == "pi2"
             else monitored_segments_pik2)
-    segments = set()
+    segments: Set[Tuple[str, ...]] = set()
     for segs in enum([tuple(p) for p in paths.values()], k=1).values():
         segments |= segs
     if protocol_name == "pi2":

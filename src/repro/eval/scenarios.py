@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core import (
     ChiConfig,
@@ -426,7 +426,7 @@ def _attack_scenario(spec: ScenarioSpec) -> AttackScenario:
     flow_paths = {f"f{i + 1}": tuple(paths[ends])
                   for i, ends in enumerate(chosen)}
 
-    segments = set()
+    segments: Set[Tuple[str, ...]] = set()
     enumerated = monitored_segments_pi2(sorted(flow_paths.values()), k=1)
     for segs in enumerated.values():
         segments |= segs

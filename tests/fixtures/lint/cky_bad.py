@@ -1,0 +1,36 @@
+# repro-lint: module=repro.eval.fixture_cky_bad
+"""Cache-key hygiene fixture: every CKY rule fires in this file."""
+
+import hashlib
+import os
+import random
+import time
+from typing import Set
+
+
+def label_spec():
+    label = f"run-{time.time()}"
+    return ScenarioSpec(name=label)  # CKY002: wall-clock into spec ctor
+
+
+def dirty_serialize(spec, extras: Set[str]):
+    spec.tag = time.perf_counter()
+    spec.order = list(extras)
+    return spec.to_dict()  # CKY002: wall + set-order reach to_dict
+
+
+def jitter_param():
+    noise = random.random()
+    return ParamSpec(name="jitter", type=float,
+                     default=noise)  # CKY003: entropy default
+
+
+def salted_key():
+    salt = os.environ["REPRO_SALT"]
+    return hashlib.sha256(salt.encode())  # CKY001: env into content hash
+
+
+def keyed_run(tags: Set[str]):
+    params = {"tags": list(tags)}
+    return RunSpec(experiment="chi",
+                   params=params)  # CKY001: set-order into the key

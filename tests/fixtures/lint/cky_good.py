@@ -1,0 +1,33 @@
+# repro-lint: module=repro.eval.fixture_cky_good
+"""Cache-key hygiene fixture: deterministic derivations, zero findings."""
+
+import hashlib
+import random
+import time
+from typing import Set
+
+
+def seeded_spec(seed: int):
+    rng = random.Random(seed)  # seeded instances are the supported path
+    return ScenarioSpec(name=f"run-{rng.randrange(100)}")
+
+
+def ordered_serialize(spec, extras: Set[str]):
+    spec.order = sorted(extras)  # sorted() kills the order dependence
+    return spec.to_dict()
+
+
+def plain_param():
+    return ParamSpec(name="jitter", type=float, default=0.25)
+
+
+def content_key(payload: bytes):
+    return hashlib.sha256(payload).hexdigest()
+
+
+def timed_eval(fn):
+    # Wall time for *measurement* is fine in eval scope: it never
+    # reaches a key/spec/param sink, so the flow rules stay silent.
+    start = time.perf_counter()
+    fn()
+    print(f"elapsed: {time.perf_counter() - start:.3f}s")

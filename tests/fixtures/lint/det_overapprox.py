@@ -1,0 +1,26 @@
+# repro-lint: module=repro.net.fixture_overapprox
+"""DET004 over-approximation fixture: set iteration that never escapes.
+
+The PR-4-era syntactic rule flags both loops (set iteration, full
+stop).  The flow-sensitive rule sees that neither iteration's order
+reaches any output: one folds into a counter, the other into
+order-insensitive reducers.  ``det004_candidates`` still reports both —
+the strict-subset test relies on that.
+"""
+
+from typing import Set
+
+
+def tally(nodes: Set[str]) -> int:
+    total = 0
+    for node in nodes:  # old DET004 fires; order never escapes
+        if node.startswith("r"):
+            total += 1
+    return total
+
+
+def spread(edges: Set[int]) -> float:
+    weights = []
+    for edge in edges:  # old DET004 fires; sum/len are order-blind
+        weights.append(edge * 2)
+    return sum(weights) / len(weights)

@@ -1,0 +1,31 @@
+# repro-lint: module=repro.obs.fixture_tdm_bad
+"""Time-domain fixture: wall values crossing into sim-domain sinks.
+
+Deliberately built on perf_counter/monotonic, which DET003 ignores —
+only the flow-sensitive TDM rules can catch these.
+"""
+
+import time
+
+
+def wall_now() -> float:
+    return time.perf_counter()
+
+
+def stamp_event(rec: Recorder):
+    t0 = time.perf_counter()
+    rec.event("tick", t=t0)  # TDM001: wall value into Recorder.event
+
+
+def stamp_metric(rec: Recorder):
+    elapsed = time.monotonic() - 5.0
+    rec.metrics.counter("repro.obs.lag").inc(elapsed)  # TDM001
+
+
+def stamp_tap(tap: TraceTap, packet):
+    tap.on_receive(packet, time.perf_counter())  # TDM001: tap callback
+
+
+def laundered():
+    t = wall_now()  # TDM002: helper's return value is wall-derived
+    return t

@@ -1,0 +1,20 @@
+# repro-lint: module=repro.obs.fixture_tdm_good
+"""Time-domain fixture: wall measurement without domain crossing."""
+
+import time
+
+
+def measure(fn) -> float:
+    # Reading perf_counter for elapsed-time measurement is fine; the
+    # value goes back to the (wall-domain) caller, not into sim records.
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def sim_event(rec: Recorder, sim_now: float):
+    rec.event("tick", t=sim_now)  # virtual time: exactly right
+
+
+def count_drop(rec: Recorder):
+    rec.metrics.counter("repro.obs.drops").inc(1)
