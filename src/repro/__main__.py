@@ -121,8 +121,7 @@ def main(argv: List[str]) -> int:
         if args.trace:
             import os
 
-            from repro.obs.record import recorder
-            from repro.obs.sinks import JsonlSink
+            from repro.obs import JsonlSink, recorder
 
             rec = recorder()
             rec.enable(JsonlSink(os.path.join(args.trace,

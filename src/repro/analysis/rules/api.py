@@ -1,7 +1,7 @@
 """Public-API surface rules: internals stay internal.
 
-``repro.net``, ``repro.core`` and ``repro.eval`` export their supported
-surface through an explicit ``__all__``; everything behind it is an
+``repro.net``, ``repro.core``, ``repro.eval`` and ``repro.obs`` export
+their supported surface through an explicit ``__all__``; behind it is an
 implementation module that may be reorganized freely.  The runtime
 enforces this softly (PEP 562 ``__getattr__`` deprecation warnings on
 package attribute access); this pass enforces it at lint time for
@@ -36,7 +36,7 @@ rule("API001",
      "be reorganized without breaking callers.")
 
 #: Packages with a defended public surface.
-PUBLIC_PACKAGES = ("repro.net", "repro.core", "repro.eval")
+PUBLIC_PACKAGES = ("repro.net", "repro.core", "repro.eval", "repro.obs")
 
 
 def _package_exports(index: ProjectIndex,

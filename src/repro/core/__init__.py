@@ -39,6 +39,7 @@ from repro.core.detector import (
     DetectorState,
     accuracy_report,
     completeness_report,
+    segment_id,
 )
 from repro.core.segments import (
     all_routing_paths,
@@ -77,6 +78,7 @@ __all__ = [
     "DetectorState",
     "accuracy_report",
     "completeness_report",
+    "segment_id",
     "all_routing_paths",
     "enumerate_segments",
     "monitored_segments_pi2",

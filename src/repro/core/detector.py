@@ -16,12 +16,22 @@ actually had a compromise attached and what it actually did):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.obs.record import recorder
+from repro.obs import recorder
 
 PathSegment = Tuple[str, ...]
 Interval = Tuple[float, float]
+
+
+def segment_id(segment: Sequence[str]) -> str:
+    """Canonical string id for a path segment (``"a>b>c"``).
+
+    The trace events of :meth:`DetectorState.suspect` carry this id so
+    forensic queries can join a verdict to the drops/fabrications inside
+    its window without re-deriving tuple formatting.
+    """
+    return ">".join(segment)
 
 
 @dataclass(frozen=True)
@@ -59,9 +69,13 @@ class DetectorState:
         rec = recorder()
         if rec.active:
             rec.metrics.counter("repro.core.detector.suspicions").inc()
+            # segment_id is the canonical join key forensics uses to
+            # match a verdict back to the trace events inside its
+            # (segment, window); interval is the suspicion window.
             rec.event("detector.suspect", suspicion.interval[1],
                       by=suspicion.suspected_by,
                       segment=list(suspicion.segment),
+                      segment_id=segment_id(suspicion.segment),
                       interval=list(suspicion.interval),
                       reason=suspicion.reason,
                       confidence=suspicion.confidence)

@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.crypto.keys import KeyInfrastructure
 from repro.crypto.signatures import Signed
-from repro.obs.record import recorder
+from repro.obs import recorder
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,9 @@ from repro.eval.specs import (
     TopologySpec,
     TrafficSpec,
     register_topology,
+    resolve_ground_truth,
     topology_names,
+    transit_candidates,
 )
 from repro.eval.scenarios import (
     AttackScenario,
@@ -67,7 +69,9 @@ __all__ = [
     "TopologySpec",
     "TrafficSpec",
     "register_topology",
+    "resolve_ground_truth",
     "topology_names",
+    "transit_candidates",
     "AttackScenario",
     "DropTailScenario",
     "REDScenario",

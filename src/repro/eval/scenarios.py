@@ -54,7 +54,9 @@ from repro.eval.specs import (
     TopologySpec,
     TrafficSpec,
     register_topology,
+    transit_candidates,
 )
+from repro.obs import recorder
 
 
 class RepeatedConnector:
@@ -414,9 +416,12 @@ def _attack_scenario(spec: ScenarioSpec) -> AttackScenario:
     net.add_tap(monitor)
 
     # Transit candidates: routers that are interior to at least one
-    # shortest path, so traffic can actually cross the adversary.
-    candidates = sorted({hop for path in paths.values()
-                         for hop in path[1:-1]})
+    # shortest path, so traffic can actually cross the adversary.  The
+    # helper recomputes unconstrained shortest paths, which is exactly
+    # what install_static_routes returned above — forensic ground-truth
+    # resolution (resolve_ground_truth) shares it so the two can never
+    # drift apart.
+    candidates = list(transit_candidates(topo))
     bad = spec.placement.resolve(topo, spec.seed, candidates)
 
     pairs = sorted(ends for ends, path in paths.items()
@@ -467,6 +472,24 @@ def _attack_scenario(spec: ScenarioSpec) -> AttackScenario:
         net.routers[bad].compromise = attack
         if isinstance(attack, FabricateAttack):
             attack.start(spec.tau)
+
+    rec = recorder()
+    if rec.active:
+        # Ground truth for forensics: which router is compromised, how,
+        # and when it activates — joined later against detector.suspect
+        # events to classify verdicts as true/false positives.
+        rec.event(
+            "scenario.ground_truth", net.sim.now,
+            topology=spec.topology.name,
+            behavior=behavior,
+            rate=spec.adversary.rate,
+            placement=spec.placement.strategy,
+            seed=spec.seed,
+            router=bad if attack is not None else None,
+            attack_at=spec.tau if attack is not None else None,
+            flows={fid: list(path) for fid, path in
+                   sorted(flow_paths.items())},
+        )
 
     return AttackScenario(spec=spec, network=net, protocol=protocol,
                           monitor=monitor, schedule=schedule, oracle=oracle,

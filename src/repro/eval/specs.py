@@ -397,6 +397,47 @@ class TrafficSpec:
 # The composed scenario
 # ---------------------------------------------------------------------------
 
+def transit_candidates(topology: Topology) -> Tuple[str, ...]:
+    """Routers interior to at least one shortest path in *topology*.
+
+    This is the candidate pool adversary placement draws from: only a
+    transit router ever sees the traffic it could attack.  Shared by
+    scenario construction and forensic ground-truth resolution so the
+    two can never disagree about where an adversary may sit.
+    """
+    from repro.net.routing import compute_all_paths
+
+    paths = compute_all_paths(topology)
+    return tuple(sorted({hop for path in paths.values()
+                         for hop in path[1:-1]}))
+
+
+def resolve_ground_truth(spec: "ScenarioSpec") -> dict:
+    """The adversary a spec plants, resolved without running anything.
+
+    Returns a JSON-ready dict with the planted ``router`` (None for
+    ``behavior="none"`` control cells), the ``behavior``/``rate``, the
+    virtual time ``attack_at`` the adversary activates (start of round
+    1, i.e. ``spec.tau``), and the topology/placement/seed coordinates.
+    Placement resolution is exactly the deterministic procedure
+    :func:`repro.eval.build_scenario` uses, so forensic tooling can
+    recover ground truth from a sweep manifest's serialized spec alone.
+    """
+    base = {
+        "behavior": spec.adversary.behavior,
+        "rate": spec.adversary.rate,
+        "placement": spec.placement.strategy,
+        "topology": spec.topology.name,
+        "seed": spec.seed,
+    }
+    if spec.adversary.behavior == "none":
+        return dict(base, router=None, attack_at=None)
+    topo = spec.topology.build()
+    bad = spec.placement.resolve(topo, spec.seed,
+                                 transit_candidates(topo))
+    return dict(base, router=bad, attack_at=spec.tau)
+
+
 def _as_spec(value: object, cls: type, label: str):
     if value is None:
         return cls()

@@ -20,7 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional, Tuple
 
-from repro.obs.record import recorder
+from repro.obs import recorder
 
 
 class Event:

@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.events import Simulator
 from repro.net.packet import Packet
-from repro.obs.record import recorder
+from repro.obs import recorder
 from repro.net.queues import DropReason, DropTailQueue
 from repro.net.topology import Link, Topology
 
@@ -274,6 +274,20 @@ class Router:
             if action.packet is not None:
                 packet = action.packet
             if action.out_nbr is not None:
+                if action.out_nbr != out_nbr:
+                    rec = recorder()
+                    if rec.active:
+                        rec.metrics.counter(
+                            "repro.net.pkt.misrouted").inc()
+                        rec.event(
+                            "net.misroute", now,
+                            router=self.name,
+                            expected=out_nbr,
+                            out_nbr=action.out_nbr,
+                            flow=packet.flow_id,
+                            src=packet.src,
+                            dst=packet.dst,
+                        )
                 out_nbr = action.out_nbr
             if action.delay > 0:
                 self.network.sim.schedule(

@@ -4,7 +4,9 @@ Two strictly separated time domains:
 
 * **sim domain** — :mod:`~repro.obs.record` (global :class:`Recorder`),
   :mod:`~repro.obs.metrics`, :mod:`~repro.obs.trace`,
-  :mod:`~repro.obs.sinks`.  Trace timestamps are Simulator virtual
+  :mod:`~repro.obs.sinks`, plus the trace analytics layer
+  (:mod:`~repro.obs.query`, :mod:`~repro.obs.forensics`,
+  :mod:`~repro.obs.diff`).  Trace timestamps are Simulator virtual
   time only; output is deterministic and byte-stable across runs.
 * **wall domain** — :mod:`~repro.obs.telemetry` (sweep wall times,
   cache/retry/worker stats) and :mod:`~repro.obs.profile` (cProfile
@@ -13,22 +15,101 @@ Two strictly separated time domains:
 The global recorder is disabled by default; every instrumentation site
 guards on ``recorder().active`` so the subsystem costs one attribute
 read + branch when off.
+
+The supported surface is exactly ``__all__`` — which includes the two
+wall-domain modules ``telemetry`` and ``profile`` as *public modules*
+(sweep machinery addresses their schemas directly).  The remaining
+submodules are internal: reaching them through the package emits a
+:class:`DeprecationWarning` naming the supported import path, and the
+``API001`` lint rule flags in-repo imports that bypass the package for
+names it already exports.
 """
 
+import importlib as _importlib
+import warnings as _warnings
+
+from repro.obs.diff import DiffReport, diff_sweeps
+from repro.obs.forensics import (
+    RouterExplanation,
+    VerdictReport,
+    explain_router,
+    explain_sweep,
+    flow_timeline,
+)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                merge_snapshots)
+from repro.obs.query import (
+    QueryFilter,
+    TraceEvent,
+    TraceReader,
+    trace_files,
+)
 from repro.obs.record import Recorder, recorder
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink
 
 __all__ = [
+    "profile",
+    "telemetry",
     "Counter",
+    "DiffReport",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
     "NullSink",
+    "QueryFilter",
     "Recorder",
+    "RouterExplanation",
+    "TraceEvent",
+    "TraceReader",
+    "VerdictReport",
+    "diff_sweeps",
+    "explain_router",
+    "explain_sweep",
+    "flow_timeline",
     "merge_snapshots",
     "recorder",
+    "trace_files",
 ]
+
+#: Public submodules — importable through the package without warning.
+_PUBLIC_MODULES = ("profile", "telemetry")
+
+#: Internal implementation modules, deprecated as import targets.
+_INTERNAL_MODULES = (
+    "cli",
+    "diff",
+    "forensics",
+    "metrics",
+    "query",
+    "record",
+    "sinks",
+    "trace",
+)
+
+# Drop the submodule bindings the re-exports above created on the
+# package, so attribute access routes through __getattr__ (PEP 562)
+# and carries a deprecation warning for the internal modules.
+for _name in _INTERNAL_MODULES:
+    globals().pop(_name, None)
+del _name
+
+
+def __getattr__(name: str):
+    if name in _PUBLIC_MODULES:
+        return _importlib.import_module(f"repro.obs.{name}")
+    if name in _INTERNAL_MODULES:
+        _warnings.warn(
+            f"repro.obs.{name} is an internal module; import the "
+            f"supported names from the repro.obs package instead "
+            f"(see repro.obs.__all__)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _importlib.import_module(f"repro.obs.{name}")
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_INTERNAL_MODULES))

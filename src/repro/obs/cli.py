@@ -1,11 +1,34 @@
-"""``python -m repro obs``: inspect and aggregate trace artifacts.
+"""``python -m repro obs``: inspect, query and diff trace artifacts.
 
 Subcommands:
 
 ``obs summarize PATH...``
     Aggregate one or more trace files / sweep directories: per-event
-    counts, merged metrics, and the sweep manifest's telemetry section
-    when present.  ``--format json`` emits the aggregate as JSON.
+    counts, merged metrics, and the summed telemetry of every sweep
+    manifest found (top-level or per-shard).  ``--format json`` emits
+    the aggregate as JSON.
+
+``obs query PATH...``
+    Stream matching trace events as canonical JSONL, filtered by
+    ``--event/--flow/--router/--t0/--t1`` (conjunctive).  Uses the lazy
+    ``*.idx.json`` sidecar index when available; ``--no-index`` forces
+    a full scan (and builds no sidecars).
+
+``obs flow FLOW PATH``
+    Reconstruct one flow's timeline — hops, deliveries, drops,
+    fabrications, misroutes — ordered by virtual time.
+
+``obs explain ROUTER PATH``
+    Verdict forensics for a router: every suspicion naming it, the
+    drop/fabricate/misroute evidence inside each (segment, window),
+    TP/FP/FN/TN classification against adversary ground truth, and
+    detection latency.
+
+``obs diff A B``
+    Compare two sweep outputs (merged trace metrics, manifest
+    aggregates, telemetry).  Exit 0 = no gating drift beyond
+    ``--threshold``, 1 = regression, 2 = usage error.  Telemetry is
+    informational unless ``--gate-telemetry``.
 
 The former ``obs bench`` alias has been removed: sweep distillation
 lives at ``python -m repro bench sweep`` (:mod:`repro.bench.sweep`).
@@ -21,27 +44,17 @@ import os
 import sys
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.diff import diff_sweeps, format_diff
+from repro.obs.forensics import explain_sweep, flow_timeline
 from repro.obs.metrics import merge_snapshots
-
-#: Subdirectory of a sweep output dir where per-run traces land.
-TRACE_DIRNAME = "traces"
-
-
-def trace_files(path: str) -> List[str]:
-    """Trace files under *path* (a file, sweep dir, or traces dir)."""
-    if os.path.isfile(path):
-        return [path]
-    candidates = []
-    if os.path.isdir(path):
-        candidates = sorted(glob.glob(os.path.join(path, "*.jsonl")))
-        if not candidates:
-            # A sweep dir: its own traces/ plus any per-shard traces a
-            # dispatched sweep left under shards/shard-*/traces/.
-            candidates = sorted(
-                glob.glob(os.path.join(path, TRACE_DIRNAME, "*.jsonl"))
-                + glob.glob(os.path.join(path, "shards", "*",
-                                         TRACE_DIRNAME, "*.jsonl")))
-    return candidates
+from repro.obs.query import (
+    QueryFilter,
+    TRACE_DIRNAME,
+    scan,
+    trace_files,
+)
+from repro.obs.sinks import encode_line
+from repro.obs.telemetry import merge_telemetry
 
 
 def read_trace(path: str) -> Tuple[Dict[str, int], List[dict], int]:
@@ -76,6 +89,36 @@ def load_manifest_telemetry(path: str) -> Optional[dict]:
     return manifest.get("telemetry")
 
 
+def collect_telemetry(paths: List[str]) -> Optional[dict]:
+    """Summed telemetry across every manifest the paths cover.
+
+    Each path contributes its own sweep.json; a dispatched sweep whose
+    top-level manifest is missing (or predates telemetry) falls back to
+    summing its per-shard manifests under ``shards/*/sweep.json``.
+    Multiple paths sum rather than first-one-wins, so summarizing two
+    shard directories together reports their combined telemetry.
+    """
+    sections: List[dict] = []
+    for path in paths:
+        telemetry = load_manifest_telemetry(path)
+        if telemetry is None and os.path.isdir(path):
+            shard_manifests = sorted(glob.glob(
+                os.path.join(path, "shards", "*", "sweep.json")))
+            shard_sections = [load_manifest_telemetry(p)
+                              for p in shard_manifests]
+            shard_present = [s for s in shard_sections if s]
+            if shard_present:
+                sections.extend(shard_present)
+                continue
+        if telemetry is not None:
+            sections.append(telemetry)
+    if not sections:
+        return None
+    if len(sections) == 1:
+        return sections[0]
+    return merge_telemetry(sections)
+
+
 def summarize_paths(paths: List[str]) -> dict:
     """Aggregate traces (and any manifest telemetry) across *paths*."""
     files: List[str] = []
@@ -90,17 +133,12 @@ def summarize_paths(paths: List[str]) -> dict:
         snapshots.extend(file_snapshots)
         for name, count in counts.items():
             events[name] = events.get(name, 0) + count
-    telemetry = None
-    for path in paths:
-        telemetry = load_manifest_telemetry(path)
-        if telemetry is not None:
-            break
     return {
         "traces": len(files),
         "records": total_lines,
         "events": {name: events[name] for name in sorted(events)},
         "metrics": merge_snapshots(snapshots),
-        "telemetry": telemetry,
+        "telemetry": collect_telemetry(paths),
     }
 
 
@@ -145,7 +183,7 @@ def format_summary(summary: dict) -> List[str]:
 
 def add_obs_parser(subparsers) -> None:
     parser = subparsers.add_parser(
-        "obs", help="inspect and aggregate observability artifacts")
+        "obs", help="inspect, query and diff observability artifacts")
     obs_sub = parser.add_subparsers(dest="obs_command", required=True)
 
     summarize = obs_sub.add_parser(
@@ -155,6 +193,59 @@ def add_obs_parser(subparsers) -> None:
     summarize.add_argument("--format", choices=("text", "json"),
                            default="text")
     summarize.set_defaults(func=cmd_summarize)
+
+    query = obs_sub.add_parser(
+        "query", help="stream matching trace events as JSONL")
+    query.add_argument("paths", nargs="+", metavar="PATH",
+                       help="trace .jsonl file(s) or sweep dir(s)")
+    query.add_argument("--event", action="append", dest="events",
+                       metavar="NAME",
+                       help="event kind to match (repeatable)")
+    query.add_argument("--flow", help="flow id to match")
+    query.add_argument("--router", help="router name to match")
+    query.add_argument("--t0", type=float,
+                       help="virtual-time window start (inclusive)")
+    query.add_argument("--t1", type=float,
+                       help="virtual-time window end (exclusive)")
+    query.add_argument("--limit", type=int, default=0,
+                       help="stop after N matches (0 = unlimited)")
+    query.add_argument("--count", action="store_true",
+                       help="print only the number of matches")
+    query.add_argument("--no-index", action="store_true",
+                       help="full scan; build no .idx.json sidecars")
+    query.set_defaults(func=cmd_query)
+
+    flow = obs_sub.add_parser(
+        "flow", help="reconstruct one flow's virtual-time timeline")
+    flow.add_argument("flow", metavar="FLOW", help="flow id (e.g. f1)")
+    flow.add_argument("paths", nargs="+", metavar="PATH",
+                      help="trace .jsonl file(s) or sweep dir(s)")
+    flow.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    flow.set_defaults(func=cmd_flow)
+
+    explain = obs_sub.add_parser(
+        "explain", help="verdict forensics for one router")
+    explain.add_argument("router", metavar="ROUTER",
+                         help="router name to explain")
+    explain.add_argument("paths", nargs="+", metavar="PATH",
+                         help="trace .jsonl file(s) or sweep dir(s)")
+    explain.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    explain.set_defaults(func=cmd_explain)
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two sweep outputs (exit 1 on regression)")
+    diff.add_argument("a", metavar="SWEEP_A", help="baseline sweep dir")
+    diff.add_argument("b", metavar="SWEEP_B", help="candidate sweep dir")
+    diff.add_argument("--threshold", type=float, default=0.0,
+                      help="relative change tolerated on gating keys "
+                           "(e.g. 0.02 = 2%%; default 0 = exact)")
+    diff.add_argument("--gate-telemetry", action="store_true",
+                      help="let wall-domain telemetry drift gate too")
+    diff.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    diff.set_defaults(func=cmd_diff)
 
     bench = obs_sub.add_parser(
         "bench",
@@ -171,6 +262,110 @@ def cmd_summarize(args: argparse.Namespace) -> int:
         for line in format_summary(summary):
             print(line)
     return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    query = QueryFilter(
+        events=tuple(args.events) if args.events else None,
+        flow=args.flow, router=args.router, t0=args.t0, t1=args.t1)
+    matched = 0
+    for _, event in scan(args.paths, query,
+                         use_index=not args.no_index):
+        matched += 1
+        if not args.count:
+            print(encode_line(event.to_dict()))
+        if args.limit and matched >= args.limit:
+            break
+    if args.count:
+        print(matched)
+    return 0
+
+
+def _format_event_line(event) -> str:
+    extras = " ".join(f"{key}={event.fields[key]}"
+                      for key in sorted(event.fields))
+    return f"t={event.t:.6f} {event.event} {extras}"
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    files: List[str] = []
+    for path in args.paths:
+        files.extend(trace_files(path))
+    if not files:
+        print(f"error: no trace files under {', '.join(args.paths)}",
+              file=sys.stderr)
+        return 2
+    payload = []
+    for trace in files:
+        timeline = flow_timeline(trace, args.flow)
+        if not timeline:
+            continue
+        payload.append({"trace": trace,
+                        "events": [e.to_dict() for e in timeline]})
+        if args.format == "text":
+            print(f"{trace}: flow {args.flow} "
+                  f"({len(timeline)} event(s))")
+            for event in timeline:
+                print(f"  {_format_event_line(event)}")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif not payload:
+        print(f"flow {args.flow}: no events in {len(files)} trace(s)")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    explanations = []
+    for path in args.paths:
+        explanations.extend(explain_sweep(path, args.router))
+    if not explanations:
+        print(f"error: no trace files under {', '.join(args.paths)}",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([e.to_dict() for e in explanations],
+                         indent=2, sort_keys=True))
+        return 0
+    for explanation in explanations:
+        latency = (f"{explanation.detection_latency:.3f}s"
+                   if explanation.detection_latency is not None
+                   else "n/a")
+        print(f"{explanation.trace}: router {explanation.router} -> "
+              f"{explanation.classification.upper()} "
+              f"(latency {latency}, "
+              f"{len(explanation.verdicts)}/"
+              f"{explanation.total_suspicions} suspicion(s) name it)")
+        truth = explanation.ground_truth
+        if truth:
+            print(f"  ground truth: adversary={truth.get('router')} "
+                  f"behavior={truth.get('behavior')} "
+                  f"attack_at={truth.get('attack_at')}")
+        for verdict in explanation.verdicts:
+            evidence = ", ".join(
+                f"{kind.split('.')[-1]}={count}"
+                for kind, count in sorted(verdict.evidence.items()))
+            print(f"  [{'TP' if verdict.true_positive else 'FP'}] "
+                  f"{verdict.segment_id} "
+                  f"window=[{verdict.interval[0]:g}, "
+                  f"{verdict.interval[1]:g}) by {verdict.by} "
+                  f"reason={verdict.reason or '-'} "
+                  f"evidence: {evidence or 'none in window'}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    for path in (args.a, args.b):
+        if not os.path.isdir(path) and not os.path.isfile(path):
+            print(f"error: no such sweep: {path}", file=sys.stderr)
+            return 2
+    report = diff_sweeps(args.a, args.b, threshold=args.threshold,
+                         gate_telemetry=args.gate_telemetry)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for line in format_diff(report):
+            print(line)
+    return report.exit_code
 
 
 def cmd_bench_removed(args: argparse.Namespace) -> int:

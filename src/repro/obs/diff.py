@@ -1,0 +1,183 @@
+"""Sweep-vs-sweep drift detection over traces and manifests.
+
+:func:`diff_sweeps` compares two sweep output directories across three
+sections:
+
+* ``metrics`` — the merged sim-domain metric snapshots of every trace
+  under each sweep.  These are deterministic aggregates of simulation
+  events, so *any* drift is signal; they gate by default.
+* ``aggregate`` — the manifest's aggregated result statistics (means,
+  CIs).  Fixed-seed sweeps make these deterministic too; gate by
+  default.
+* ``telemetry`` — the manifest's wall-domain telemetry section (wall
+  seconds, worker utilization, cache hit rates).  Inherently noisy
+  across machines and runs, so it is reported but only gates when the
+  caller opts in.
+
+A key counts as a **regression** when it gates and its relative change
+exceeds the threshold in either direction (determinism checking is
+two-sided: a metric going *down* unexpectedly is as suspicious as one
+going up), or when it exists on only one side.  The exit-code contract
+(``repro obs diff``): 0 = no gating drift, 1 = regression, 2 = usage
+error (missing sweep/manifest).  Diffing a sweep against itself is
+always exit 0 with zero deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.forensics import load_manifest
+from repro.obs.metrics import merge_snapshots
+from repro.obs.query import QueryFilter, TraceReader, trace_files
+
+#: Sections whose values are sim-domain-deterministic and gate by default.
+GATING_SECTIONS = ("metrics", "aggregate")
+
+
+def collect_metrics(path: str) -> Dict[str, dict]:
+    """Merged metric snapshots across every trace under *path*."""
+    snapshots: List[dict] = []
+    for trace in trace_files(path):
+        reader = TraceReader(trace)
+        for event in reader.events(QueryFilter(events=("obs.metrics",))):
+            snapshot = event.fields.get("metrics")
+            if isinstance(snapshot, dict):
+                snapshots.append(snapshot)
+    return merge_snapshots(snapshots)
+
+
+def _flatten(prefix: str, value: object,
+             out: Dict[str, float]) -> None:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}", value[key], out)
+
+
+def flatten_numeric_tree(section: str, tree: object) -> Dict[str, float]:
+    """Dotted-key -> numeric value for one diff section."""
+    out: Dict[str, float] = {}
+    _flatten(section, tree if tree is not None else {}, out)
+    return out
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One key that differs between the two sweeps."""
+
+    key: str
+    a: Optional[float]
+    b: Optional[float]
+    gating: bool
+    regression: bool
+
+    @property
+    def rel(self) -> Optional[float]:
+        """Relative change b/a - 1; None when undefined (a=0 or missing)."""
+        if self.a is None or self.b is None or self.a == 0:
+            return None
+        return self.b / self.a - 1.0
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "a": self.a, "b": self.b,
+                "rel": self.rel, "gating": self.gating,
+                "regression": self.regression}
+
+
+@dataclass
+class DiffReport:
+    a: str
+    b: str
+    threshold: float
+    deltas: List[Delta] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "threshold": self.threshold,
+            "unchanged": self.unchanged,
+            "deltas": [d.to_dict() for d in self.deltas],
+            "regressions": len(self.regressions),
+            "exit_code": self.exit_code,
+        }
+
+
+def _is_regression(a: Optional[float], b: Optional[float],
+                   threshold: float) -> bool:
+    if a is None or b is None:
+        return True
+    if a == b:
+        return False
+    if a == 0:
+        return True  # any change off zero is infinite relative drift
+    return abs(b / a - 1.0) > threshold
+
+
+def diff_flat(flat_a: Dict[str, float], flat_b: Dict[str, float],
+              threshold: float, gating: bool,
+              report: DiffReport) -> None:
+    """Fold the deltas between two flattened sections into *report*."""
+    for key in sorted(set(flat_a) | set(flat_b)):
+        a, b = flat_a.get(key), flat_b.get(key)
+        if a == b:
+            report.unchanged += 1
+            continue
+        regression = gating and _is_regression(a, b, threshold)
+        report.deltas.append(Delta(key=key, a=a, b=b, gating=gating,
+                                   regression=regression))
+
+
+def diff_sweeps(path_a: str, path_b: str, threshold: float = 0.0,
+                gate_telemetry: bool = False) -> DiffReport:
+    """Compare two sweep outputs; see the module docstring for gating."""
+    report = DiffReport(a=path_a, b=path_b, threshold=threshold)
+    manifest_a = load_manifest(path_a) or {}
+    manifest_b = load_manifest(path_b) or {}
+
+    sections = [
+        ("metrics", collect_metrics(path_a), collect_metrics(path_b),
+         True),
+        ("aggregate", manifest_a.get("aggregate"),
+         manifest_b.get("aggregate"), True),
+        ("telemetry", manifest_a.get("telemetry"),
+         manifest_b.get("telemetry"), gate_telemetry),
+    ]
+    for name, tree_a, tree_b, gating in sections:
+        diff_flat(flatten_numeric_tree(name, tree_a),
+                  flatten_numeric_tree(name, tree_b),
+                  threshold, gating, report)
+    return report
+
+
+def format_diff(report: DiffReport) -> List[str]:
+    """Human-readable rendering of a diff report."""
+    lines = [f"diff {report.a} -> {report.b} "
+             f"(threshold {report.threshold:g}, "
+             f"{report.unchanged} unchanged)"]
+    if not report.deltas:
+        lines.append("no deltas")
+        return lines
+    for delta in report.deltas:
+        rel = delta.rel
+        rel_text = f"{rel:+.2%}" if rel is not None else "n/a"
+        marker = "REGRESSION" if delta.regression else (
+            "drift" if delta.gating else "info")
+        lines.append(f"  [{marker}] {delta.key}: "
+                     f"{delta.a} -> {delta.b} ({rel_text})")
+    lines.append(f"{len(report.regressions)} regression(s)")
+    return lines

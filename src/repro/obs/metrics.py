@@ -15,6 +15,7 @@ order, so two runs that saw the same events serialize byte-identically.
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Dict, List, Optional, Union
 
@@ -82,16 +83,38 @@ class Gauge:
                 "min": self.min, "max": self.max}
 
 
+def bucket_bound(value: Number) -> float:
+    """Upper bound of the power-of-two bucket containing *value*.
+
+    Buckets are ``(2**(e-1), 2**e]`` plus a ``0`` bucket for
+    non-positive values.  :func:`math.frexp` makes the boundary exact:
+    an exact power of two lands in the bucket it bounds (1024 counts in
+    the ``1024`` bucket, not ``2048``), with no ``log2`` rounding drift.
+    """
+    if value <= 0:
+        return 0.0
+    m, e = math.frexp(value)  # value = m * 2**e with 0.5 <= m < 1
+    if m == 0.5:
+        e -= 1
+    return math.ldexp(1.0, e)
+
+
+def _bucket_key(bound: float) -> str:
+    """Canonical JSON key for a bucket bound (``"0"``, ``"0.5"``, ``"8"``)."""
+    return format(bound, "g")
+
+
 class Histogram:
     """Order-insensitive summary of observed values.
 
-    Keeps count/total/min/max (mean is derived), which merge cleanly
-    across runs and never depend on observation order — the histogram
-    of a sharded sweep equals the histogram of the unsharded one.
+    Keeps count/total/min/max (mean is derived) plus power-of-two
+    buckets, all of which merge cleanly across runs and never depend on
+    observation order — the histogram of a sharded sweep equals the
+    histogram of the unsharded one.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -99,12 +122,15 @@ class Histogram:
         self.total: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
+        self.buckets: Dict[float, int] = {}
 
     def observe(self, value: Number) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        bound = bucket_bound(value)
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -113,7 +139,9 @@ class Histogram:
     def to_dict(self) -> dict:
         return {"kind": self.kind, "count": self.count,
                 "total": self.total, "min": self.min, "max": self.max,
-                "mean": self.mean}
+                "mean": self.mean,
+                "buckets": {_bucket_key(b): self.buckets[b]
+                            for b in sorted(self.buckets)}}
 
 
 Metric = Union[Counter, Gauge, Histogram]
@@ -160,17 +188,42 @@ class MetricsRegistry:
                 for name in sorted(self._metrics)}
 
 
+def _normalized_buckets(row: dict) -> Dict[str, int]:
+    """Bucket dict of a histogram row under canonical keys.
+
+    Rows from older traces may lack buckets entirely, and hand-written
+    or round-tripped snapshots can spell the same bound differently
+    (``"2"`` vs ``"2.0"``); canonicalizing through :func:`_bucket_key`
+    keeps merge associative across those representations.
+    """
+    out: Dict[str, int] = {}
+    for key, count in (row.get("buckets") or {}).items():
+        canon = _bucket_key(float(key))
+        out[canon] = out.get(canon, 0) + count
+    return out
+
+
 def merge_snapshots(snapshots: List[Dict[str, dict]]) -> Dict[str, dict]:
     """Combine metric snapshots from several runs/trace files.
 
-    Counters and histogram counts/totals add; gauges keep the widest
-    min/max and the last value seen; mixed-kind names raise.
+    Counters and histogram counts/totals/buckets add; gauges keep the
+    widest min/max and the last value seen; mixed-kind names raise.
+    The merge is associative and commutative up to gauge ``value`` (the
+    one order-sensitive field) and float-summation rounding in histogram
+    ``total``/``mean``, and never mutates its inputs.
     """
     merged: Dict[str, dict] = {}
     for snapshot in snapshots:
         for name, row in snapshot.items():
             if name not in merged:
-                merged[name] = dict(row)
+                # Copy one level deeper than dict(row): histogram rows
+                # carry a nested bucket dict that the merge below
+                # mutates, and a shallow copy would alias (and corrupt)
+                # the caller's snapshot.
+                fresh = dict(row)
+                if row.get("kind") == "histogram":
+                    fresh["buckets"] = _normalized_buckets(row)
+                merged[name] = fresh
                 continue
             into = merged[name]
             if into.get("kind") != row.get("kind"):
@@ -193,4 +246,11 @@ def merge_snapshots(snapshots: List[Dict[str, dict]]) -> Dict[str, dict]:
                                      else pick(into[key], row[key]))
                 into["mean"] = (into["total"] / into["count"]
                                 if into["count"] else 0.0)
+                buckets = into["buckets"]
+                for bkey, bcount in _normalized_buckets(row).items():
+                    buckets[bkey] = buckets.get(bkey, 0) + bcount
+    for row in merged.values():
+        if row.get("kind") == "histogram":
+            row["buckets"] = {key: row["buckets"][key] for key in
+                              sorted(row["buckets"], key=float)}
     return {name: merged[name] for name in sorted(merged)}

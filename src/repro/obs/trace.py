@@ -7,12 +7,22 @@ network layer can attach it with a local import without a cycle.
 
 Counting happens in metrics (cheap, order-insensitive); full trace
 *events* are emitted only for the rare, diagnosis-critical transitions:
-drops and fabricated-packet injections.  Per-packet receive/enqueue/
-transmit events would dominate trace volume without adding much beyond
-what the counters and the queue-occupancy histogram already capture.
+drops, fabricated-packet injections, and *first-seen* flow waypoints.
+Per-packet receive/enqueue/transmit events would dominate trace volume
+without adding much beyond what the counters and the queue-occupancy
+histogram already capture — but forensics (:mod:`repro.obs.forensics`)
+needs each flow's per-hop journey, so the tap emits one
+``net.flow_hop`` event the first time a flow crosses a
+(router, out-neighbour) edge and one ``net.flow_deliver`` event the
+first time it reaches a destination.  That bounds the extra volume to
+O(flows x hops) regardless of packet count, and the events carry the
+virtual time of the first crossing, which is exactly the causal order
+a timeline reconstruction wants.
 """
 
 from __future__ import annotations
+
+from typing import Set, Tuple
 
 from repro.obs.record import Recorder
 
@@ -37,6 +47,9 @@ class TraceTap:
         self._fabricated = metrics.counter("repro.net.pkt.fabricated")
         self._dropped = metrics.counter("repro.net.pkt.dropped")
         self._occupancy = metrics.histogram("repro.net.queue.occupancy")
+        # First-seen flow waypoints (membership only — never iterated).
+        self._seen_hops: Set[Tuple[object, str, str]] = set()
+        self._seen_delivered: Set[Tuple[object, str]] = set()
 
     # -- MonitorTap interface (duck-typed) ----------------------------
 
@@ -46,12 +59,35 @@ class TraceTap:
     def on_enqueue(self, router, out_nbr, packet, time, occupancy) -> None:
         self._enqueued.inc()
         self._occupancy.observe(occupancy)
+        flow = getattr(packet, "flow_id", None)
+        key = (flow, router.name, out_nbr)
+        if key not in self._seen_hops:
+            self._seen_hops.add(key)
+            self.rec.event(
+                "net.flow_hop", time,
+                router=router.name,
+                out_nbr=out_nbr,
+                flow=flow,
+                src=getattr(packet, "src", None),
+                dst=getattr(packet, "dst", None),
+            )
 
     def on_transmit(self, router, out_nbr, packet, time) -> None:
         self._transmitted.inc()
 
     def on_deliver(self, router, packet, time) -> None:
         self._delivered.inc()
+        flow = getattr(packet, "flow_id", None)
+        key = (flow, router.name)
+        if key not in self._seen_delivered:
+            self._seen_delivered.add(key)
+            self.rec.event(
+                "net.flow_deliver", time,
+                router=router.name,
+                flow=flow,
+                src=getattr(packet, "src", None),
+                dst=getattr(packet, "dst", None),
+            )
 
     def on_originate(self, router, packet, time) -> None:
         self._originated.inc()

@@ -149,8 +149,7 @@ def _execute_cell(payload: dict) -> dict:
     trace_name = None
     rec = None
     if payload.get("trace_dir"):
-        from repro.obs.record import recorder
-        from repro.obs.sinks import JsonlSink
+        from repro.obs import JsonlSink, recorder
 
         rec = recorder()
         if rec.active:

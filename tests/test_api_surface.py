@@ -1,4 +1,4 @@
-"""The narrowed public surface of ``repro.net`` / ``repro.core`` / ``repro.eval``.
+"""The narrowed public surface of repro.net / repro.core / repro.eval / repro.obs.
 
 Two enforcement layers, both covered here:
 
@@ -19,6 +19,7 @@ import pytest
 import repro.core
 import repro.eval
 import repro.net
+import repro.obs
 from repro.analysis import lint_paths
 
 SRC = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -38,6 +39,10 @@ class TestRuntimeSurface:
             with warnings.catch_warnings():
                 warnings.simplefilter("error")
                 assert getattr(repro.eval, name) is not None
+        for name in repro.obs.__all__:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert getattr(repro.obs, name) is not None
 
     def test_eval_public_submodules_stay_quiet(self):
         # ``experiments`` and ``registry`` are promised surface: package
@@ -48,6 +53,15 @@ class TestRuntimeSurface:
             assert (repro.eval.experiments.__name__
                     == "repro.eval.experiments")
 
+    def test_obs_public_submodules_stay_quiet(self):
+        # The wall-domain modules are promised surface for the sweep
+        # machinery: package attribute access must not warn.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert (repro.obs.telemetry.__name__
+                    == "repro.obs.telemetry")
+            assert repro.obs.profile.__name__ == "repro.obs.profile"
+
     @pytest.mark.parametrize("package,submodule", [
         (repro.net, "events"),
         (repro.net, "queues"),
@@ -57,6 +71,10 @@ class TestRuntimeSurface:
         (repro.eval, "results"),
         (repro.eval, "specs"),
         (repro.eval, "metrics"),
+        (repro.obs, "record"),
+        (repro.obs, "query"),
+        (repro.obs, "forensics"),
+        (repro.obs, "sinks"),
     ])
     def test_internal_module_access_warns(self, package, submodule):
         with pytest.warns(DeprecationWarning, match="internal module"):
@@ -82,12 +100,16 @@ class TestRuntimeSurface:
             repro.core.no_such_thing
         with pytest.raises(AttributeError, match="no_such_thing"):
             repro.eval.no_such_thing
+        with pytest.raises(AttributeError, match="no_such_thing"):
+            repro.obs.no_such_thing
 
     def test_dir_lists_public_and_internal(self):
         listing = dir(repro.net)
         assert "Packet" in listing and "events" in listing
         listing = dir(repro.core)
         assert "ProtocolChi" in listing and "chi" in listing
+        listing = dir(repro.obs)
+        assert "TraceReader" in listing and "record" in listing
 
 
 def _lint(tmp_path, source, package="net"):
@@ -152,6 +174,27 @@ class TestApi001:
             tmp_path,
             "from repro.eval.specs import ScenarioSpec\n",
             package="eval") == [("API001", "consumer.py")]
+
+    def test_obs_internal_module_imports_flagged(self, tmp_path):
+        assert _lint(tmp_path,
+                     "from repro.obs.record import recorder\n",
+                     package="obs") == [("API001", "consumer.py")]
+        assert _lint(tmp_path, "from repro.obs import query\n",
+                     package="obs") == [("API001", "consumer.py")]
+
+    def test_obs_package_and_public_module_imports_clean(self, tmp_path):
+        assert _lint(tmp_path,
+                     "from repro.obs import TraceReader, recorder\n",
+                     package="obs") == []
+        # telemetry/profile are public modules (in repro.obs.__all__).
+        assert _lint(
+            tmp_path,
+            "from repro.obs.telemetry import merge_telemetry\n",
+            package="obs") == []
+        # cli's helpers have no public re-export: direct import allowed.
+        assert _lint(tmp_path,
+                     "from repro.obs.cli import summarize_paths\n",
+                     package="obs") == []
 
     def test_shipped_tree_is_clean(self):
         report = lint_paths([SRC], rules=["API001"])

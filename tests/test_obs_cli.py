@@ -126,6 +126,31 @@ class TestObsCommands:
         assert doubled["traces"] == 2 * single["traces"]
         assert doubled["records"] == 2 * single["records"]
 
+    def test_summarize_finds_sharded_layouts(self, tmp_path):
+        """A dispatched sweep: traces and telemetry live per shard."""
+        from repro.obs.telemetry import build_telemetry
+
+        out = tmp_path / "dispatched"
+        for shard, wall_s in (("shard-0", 2.0), ("shard-1", 3.0)):
+            traces = out / "shards" / shard / "traces"
+            traces.mkdir(parents=True)
+            (traces / f"{shard}.jsonl").write_text(json.dumps(
+                {"event": "net.drop", "t": 1.0, "router": "A",
+                 "out_nbr": "B", "flow": "f1", "src": "A", "dst": "B",
+                 "reason": "x"}) + "\n")
+            telemetry = build_telemetry(
+                wall_s=wall_s, jobs=1,
+                records=[{"status": "ok", "elapsed_s": wall_s,
+                          "attempts": 1}])
+            (out / "shards" / shard / "sweep.json").write_text(
+                json.dumps({"telemetry": telemetry}))
+        summary = summarize_paths([str(out)])
+        assert summary["traces"] == 2
+        assert summary["events"] == {"net.drop": 2}
+        # Telemetry sums across the per-shard manifests.
+        assert summary["telemetry"]["runs"]["total"] == 2
+        assert summary["telemetry"]["wall_s"] == pytest.approx(5.0)
+
 
 class TestProfileCall:
     def test_returns_result_and_schema(self):

@@ -1,0 +1,162 @@
+"""Sweep-vs-sweep drift detection and its exit-code contract.
+
+Fake sweep directories (a manifest plus one trace carrying a final
+``obs.metrics`` snapshot) pin down the gating semantics: metrics and
+aggregates gate by default, telemetry only on request, exit 0/1/2.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import DiffReport, diff_sweeps
+from repro.obs.diff import (
+    collect_metrics,
+    flatten_numeric_tree,
+    format_diff,
+)
+
+
+def make_sweep(root, name, *, drops=5, latency_mean=2.0, wall_s=1.0,
+               aggregate=None):
+    """A minimal sweep dir: sweep.json + traces/run.jsonl."""
+    out = root / name
+    (out / "traces").mkdir(parents=True)
+    manifest = {
+        "schema": "repro.sweep/v4",
+        "aggregate": aggregate if aggregate is not None
+        else {"detected": {"mean": 1.0}, "recall": {"mean": 0.8}},
+        "telemetry": {"wall_s": wall_s,
+                      "runs": {"total": 1, "ok": 1},
+                      "workers": {"jobs": 1, "utilization": 0.9}},
+    }
+    (out / "sweep.json").write_text(json.dumps(manifest))
+    snapshot = {
+        "repro.net.pkt.dropped": {"kind": "counter", "value": drops},
+        "repro.net.pkt.latency": {"kind": "histogram", "count": 2,
+                                  "total": 2 * latency_mean,
+                                  "min": 1.0, "max": 3.0,
+                                  "mean": latency_mean,
+                                  "buckets": {"2": 1, "4": 1}},
+    }
+    trace = out / "traces" / "run.jsonl"
+    trace.write_text(json.dumps(
+        {"event": "obs.metrics", "t": None, "metrics": snapshot,
+         "events": 2}) + "\n")
+    return str(out)
+
+
+class TestCollectAndFlatten:
+    def test_collect_metrics_merges_traces(self, tmp_path):
+        sweep = make_sweep(tmp_path, "a", drops=5)
+        merged = collect_metrics(sweep)
+        assert merged["repro.net.pkt.dropped"]["value"] == 5
+
+    def test_flatten_skips_bools_recurses_dicts(self):
+        flat = flatten_numeric_tree("agg", {
+            "detected": True, "recall": {"mean": 0.8, "n": 2},
+            "name": "chi"})
+        assert flat == {"agg.recall.mean": 0.8, "agg.recall.n": 2.0}
+
+
+class TestDiffSweeps:
+    def test_self_diff_is_clean(self, tmp_path):
+        sweep = make_sweep(tmp_path, "a")
+        report = diff_sweeps(sweep, sweep)
+        assert isinstance(report, DiffReport)
+        assert report.deltas == [] and report.exit_code == 0
+        assert report.unchanged > 0
+        assert format_diff(report)[-1] == "no deltas"
+
+    def test_metric_drift_is_a_regression(self, tmp_path):
+        a = make_sweep(tmp_path, "a", drops=5)
+        b = make_sweep(tmp_path, "b", drops=8)
+        report = diff_sweeps(a, b)
+        assert report.exit_code == 1
+        keys = {d.key for d in report.regressions}
+        assert "metrics.repro.net.pkt.dropped.value" in keys
+        delta = next(d for d in report.deltas
+                     if d.key == "metrics.repro.net.pkt.dropped.value")
+        assert delta.rel == pytest.approx(0.6)
+        assert any("REGRESSION" in line for line in format_diff(report))
+
+    def test_threshold_tolerates_small_drift(self, tmp_path):
+        a = make_sweep(tmp_path, "a", drops=100)
+        b = make_sweep(tmp_path, "b", drops=110)
+        assert diff_sweeps(a, b).exit_code == 1
+        report = diff_sweeps(a, b, threshold=0.2)
+        assert report.exit_code == 0
+        # Tolerated drift is still reported, just not gating-failed.
+        assert any(d.key == "metrics.repro.net.pkt.dropped.value"
+                   and not d.regression for d in report.deltas)
+
+    def test_change_off_zero_always_gates(self, tmp_path):
+        a = make_sweep(tmp_path, "a", drops=0)
+        b = make_sweep(tmp_path, "b", drops=1)
+        report = diff_sweeps(a, b, threshold=100.0)
+        assert report.exit_code == 1
+        delta = next(d for d in report.regressions)
+        assert delta.rel is None  # relative change off zero is undefined
+
+    def test_one_sided_key_always_gates(self, tmp_path):
+        a = make_sweep(tmp_path, "a",
+                       aggregate={"detected": {"mean": 1.0}})
+        b = make_sweep(tmp_path, "b",
+                       aggregate={"detected": {"mean": 1.0},
+                                  "extra": {"mean": 2.0}})
+        report = diff_sweeps(a, b, threshold=100.0)
+        assert [d.key for d in report.regressions] \
+            == ["aggregate.extra.mean"]
+        assert report.regressions[0].a is None
+
+    def test_telemetry_informational_unless_gated(self, tmp_path):
+        a = make_sweep(tmp_path, "a", wall_s=1.0)
+        b = make_sweep(tmp_path, "b", wall_s=9.0)
+        report = diff_sweeps(a, b)
+        assert report.exit_code == 0
+        assert any(d.key == "telemetry.wall_s" and not d.gating
+                   for d in report.deltas)
+        gated = diff_sweeps(a, b, gate_telemetry=True)
+        assert gated.exit_code == 1
+        assert any(d.key == "telemetry.wall_s" for d in gated.regressions)
+
+    def test_to_dict_round_trips_through_json(self, tmp_path):
+        a = make_sweep(tmp_path, "a", drops=5)
+        b = make_sweep(tmp_path, "b", drops=8)
+        payload = diff_sweeps(a, b).to_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["exit_code"] == 1
+        assert decoded["regressions"] >= 1
+
+
+class TestDiffCli:
+    def test_self_diff_exit_0(self, tmp_path, capsys):
+        sweep = make_sweep(tmp_path, "a")
+        assert main(["obs", "diff", sweep, sweep]) == 0
+        assert "no deltas" in capsys.readouterr().out
+
+    def test_regression_exit_1(self, tmp_path, capsys):
+        a = make_sweep(tmp_path, "a", drops=5)
+        b = make_sweep(tmp_path, "b", drops=8)
+        assert main(["obs", "diff", a, b]) == 1
+        text = capsys.readouterr().out
+        assert "REGRESSION" in text and "regression(s)" in text
+
+    def test_threshold_flag(self, tmp_path):
+        a = make_sweep(tmp_path, "a", drops=100)
+        b = make_sweep(tmp_path, "b", drops=110)
+        assert main(["obs", "diff", a, b, "--threshold", "0.2"]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        a = make_sweep(tmp_path, "a", drops=5)
+        b = make_sweep(tmp_path, "b", drops=8)
+        assert main(["obs", "diff", "--format", "json", a, b]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+
+    def test_missing_sweep_exit_2(self, tmp_path, capsys):
+        sweep = make_sweep(tmp_path, "a")
+        assert main(["obs", "diff", sweep,
+                     str(tmp_path / "nowhere")]) == 2
+        assert "no such sweep" in capsys.readouterr().err

@@ -12,11 +12,15 @@ import os
 
 import pytest
 
+import copy
+import random
+
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_bound,
     merge_snapshots,
     validate_metric_name,
 )
@@ -73,6 +77,28 @@ class TestMetrics:
     def test_empty_histogram_mean(self):
         assert Histogram("repro.t.h").mean == 0.0
 
+    @pytest.mark.parametrize("value,bound", [
+        (-3, 0.0), (0, 0.0),            # non-positive values pool at 0
+        (0.3, 0.5), (0.5, 0.5),
+        (0.75, 1.0), (1.0, 1.0),
+        (1.5, 2.0), (3, 4.0),
+        (1024, 1024.0),                 # exact powers bound themselves
+        (1024.5, 2048.0),
+    ])
+    def test_bucket_bound_power_of_two(self, value, bound):
+        assert bucket_bound(value) == bound
+
+    def test_histogram_buckets_in_snapshot(self):
+        hist = Histogram("repro.t.h")
+        for value in (0.4, 1.0, 3.0, 3.5, 1024):
+            hist.observe(value)
+        row = hist.to_dict()
+        assert row["buckets"] == {"0.5": 1, "1": 1, "4": 2, "1024": 1}
+        assert sum(row["buckets"].values()) == row["count"]
+        # Keys serialize in numeric order for byte-stable snapshots.
+        assert list(row["buckets"]) \
+            == sorted(row["buckets"], key=float)
+
 
 class TestRegistry:
     def test_create_on_first_use(self):
@@ -125,6 +151,86 @@ class TestMergeSnapshots:
 
     def test_empty(self):
         assert merge_snapshots([]) == {}
+
+    @staticmethod
+    def _random_snapshot(seed):
+        rng = random.Random(seed)
+        registry = MetricsRegistry()
+        registry.counter("repro.t.c").inc(rng.randrange(1, 100))
+        hist = registry.histogram("repro.t.h")
+        for _ in range(rng.randrange(1, 20)):
+            hist.observe(rng.uniform(0.01, 2048))
+        return registry.snapshot()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_is_commutative(self, seed):
+        a = self._random_snapshot(seed)
+        b = self._random_snapshot(seed + 100)
+        assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+    @staticmethod
+    def _assert_equivalent(left, right):
+        """Merged snapshots agree: exactly on counts/buckets/extremes,
+        to float tolerance on the order-sensitive running sums."""
+        assert left.keys() == right.keys()
+        for name in left:
+            lrow, rrow = dict(left[name]), dict(right[name])
+            for key in ("total", "mean"):
+                if key in lrow:
+                    assert lrow.pop(key) \
+                        == pytest.approx(rrow.pop(key))
+            assert lrow == rrow
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_is_associative(self, seed):
+        a = self._random_snapshot(seed)
+        b = self._random_snapshot(seed + 100)
+        c = self._random_snapshot(seed + 200)
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        flat = merge_snapshots([a, b, c])
+        self._assert_equivalent(left, right)
+        self._assert_equivalent(left, flat)
+
+    def test_merge_never_mutates_inputs(self):
+        a = self._random_snapshot(1)
+        b = self._random_snapshot(2)
+        a_before, b_before = copy.deepcopy(a), copy.deepcopy(b)
+        merged = merge_snapshots([a, b])
+        assert a == a_before and b == b_before
+        # The merged buckets must not alias either input's dicts.
+        merged["repro.t.h"]["buckets"]["0.5"] = 10 ** 9
+        assert a == a_before and b == b_before
+
+    def test_self_merge_doubles_counts(self):
+        snapshot = self._random_snapshot(3)
+        merged = merge_snapshots([snapshot, snapshot])
+        hist = merged["repro.t.h"]
+        assert hist["count"] == 2 * snapshot["repro.t.h"]["count"]
+        for key, count in snapshot["repro.t.h"]["buckets"].items():
+            assert hist["buckets"][key] == 2 * count
+
+    def test_legacy_rows_without_buckets_merge(self):
+        legacy = {"repro.t.h": {"kind": "histogram", "count": 2,
+                                "total": 6.0, "min": 2.0, "max": 4.0,
+                                "mean": 3.0}}
+        fresh = self._random_snapshot(4)
+        merged = merge_snapshots([legacy, fresh])
+        hist = merged["repro.t.h"]
+        assert hist["count"] == 2 + fresh["repro.t.h"]["count"]
+        # Bucket totals only cover the runs that recorded buckets.
+        assert sum(hist["buckets"].values()) \
+            == fresh["repro.t.h"]["count"]
+
+    def test_bucket_key_spellings_canonicalize(self):
+        variant_a = {"repro.t.h": {"kind": "histogram", "count": 1,
+                                   "total": 2.0, "min": 2.0, "max": 2.0,
+                                   "mean": 2.0, "buckets": {"2": 1}}}
+        variant_b = {"repro.t.h": {"kind": "histogram", "count": 1,
+                                   "total": 1.5, "min": 1.5, "max": 1.5,
+                                   "mean": 1.5, "buckets": {"2.0": 1}}}
+        merged = merge_snapshots([variant_a, variant_b])
+        assert merged["repro.t.h"]["buckets"] == {"2": 2}
 
 
 class TestSinks:
